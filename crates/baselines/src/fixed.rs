@@ -1,0 +1,125 @@
+//! Static one-shot policies.
+
+use thermorl_platform::{GovernorKind, ThreadAssignment};
+use thermorl_sim::{Actuation, Observation, ThermalController};
+
+/// Applies a fixed assignment and/or governor once at the first sample
+/// and never changes it again.
+///
+/// Covers Table 3's `powersave` / `2.4GHz` / `3.4GHz` rows and the
+/// "user thread assignment" of the Figure 1 motivational experiment.
+#[derive(Debug, Clone)]
+pub struct FixedPolicy {
+    name: String,
+    assignment: Option<ThreadAssignment>,
+    governor: Option<GovernorKind>,
+    applied: bool,
+}
+
+impl FixedPolicy {
+    /// A policy that pins a governor (and optionally an assignment).
+    pub fn new(
+        name: impl Into<String>,
+        assignment: Option<ThreadAssignment>,
+        governor: Option<GovernorKind>,
+    ) -> Self {
+        FixedPolicy {
+            name: name.into(),
+            assignment,
+            governor,
+            applied: false,
+        }
+    }
+
+    /// Table 3's `powersave` row.
+    pub fn powersave() -> Self {
+        FixedPolicy::new("linux-powersave", None, Some(GovernorKind::Powersave))
+    }
+
+    /// Table 3's fixed-frequency rows; `opp_index` into the machine's
+    /// table (2 → 2.4 GHz, 5 → 3.4 GHz on the default table).
+    pub fn userspace(name: impl Into<String>, opp_index: usize) -> Self {
+        FixedPolicy::new(name, None, Some(GovernorKind::Userspace(opp_index)))
+    }
+
+    /// The §3 experiment: "arbitrarily fixing the assignment of threads to
+    /// cores (two cores execute two threads each and the other two cores
+    /// execute one thread each)", leaving scheduling to the OS.
+    pub fn user_assignment() -> Self {
+        FixedPolicy::new(
+            "user-assignment",
+            Some(ThreadAssignment::packed(&[2, 2, 1, 1])),
+            None,
+        )
+    }
+}
+
+impl ThermalController for FixedPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_sample(&mut self, _obs: &Observation<'_>) -> Option<Actuation> {
+        if self.applied {
+            return None;
+        }
+        self.applied = true;
+        Some(Actuation {
+            assignment: self.assignment.clone(),
+            governor: self.governor,
+            per_core_governors: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermorl_platform::CounterSnapshot;
+
+    fn obs() -> Observation<'static> {
+        Observation {
+            time: 0.0,
+            sensor_temps: &[40.0; 4],
+            fps: 1.0,
+            perf_constraint: 1.0,
+            app_name: "x",
+            app_index: 0,
+            app_switched: false,
+            counters: CounterSnapshot::default(),
+            core_freq_ghz: &[3.4; 4],
+        }
+    }
+
+    #[test]
+    fn acts_exactly_once() {
+        let mut p = FixedPolicy::powersave();
+        let first = p.on_sample(&obs());
+        assert_eq!(
+            first.unwrap().governor,
+            Some(GovernorKind::Powersave)
+        );
+        assert!(p.on_sample(&obs()).is_none());
+        assert!(p.on_sample(&obs()).is_none());
+    }
+
+    #[test]
+    fn user_assignment_carries_masks() {
+        let mut p = FixedPolicy::user_assignment();
+        let act = p.on_sample(&obs()).unwrap();
+        let a = act.assignment.unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.name, "pack[2,2,1,1]");
+        assert!(act.governor.is_none());
+    }
+
+    #[test]
+    fn userspace_names_and_indices() {
+        let mut p = FixedPolicy::userspace("linux-2.4GHz", 2);
+        assert_eq!(p.name(), "linux-2.4GHz");
+        assert_eq!(
+            p.on_sample(&obs()).unwrap().governor,
+            Some(GovernorKind::Userspace(2))
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! The stock-Linux baseline.
+
+use thermorl_sim::{Actuation, Observation, ThermalController};
+
+/// Linux's default behaviour: the ondemand governor (the machine boots
+/// with it) plus the load-balancing scheduler, and no run-time thermal
+/// management at all. This is the reference all of the paper's
+/// normalised results divide by.
+#[derive(Debug, Clone, Default)]
+pub struct LinuxDefaultController {
+    _private: (),
+}
+
+impl LinuxDefaultController {
+    /// Creates the baseline.
+    pub fn new() -> Self {
+        LinuxDefaultController::default()
+    }
+}
+
+impl ThermalController for LinuxDefaultController {
+    fn name(&self) -> &str {
+        "linux-ondemand"
+    }
+
+    fn on_sample(&mut self, _obs: &Observation<'_>) -> Option<Actuation> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermorl_platform::CounterSnapshot;
+
+    #[test]
+    fn never_acts() {
+        let mut c = LinuxDefaultController::new();
+        let obs = Observation {
+            time: 1.0,
+            sensor_temps: &[90.0; 4], // even when burning
+            fps: 0.0,
+            perf_constraint: 10.0,
+            app_name: "x",
+            app_index: 0,
+            app_switched: true,
+            counters: CounterSnapshot::default(),
+            core_freq_ghz: &[3.4; 4],
+        };
+        for _ in 0..10 {
+            assert!(c.on_sample(&obs).is_none());
+        }
+        assert_eq!(c.name(), "linux-ondemand");
+    }
+}

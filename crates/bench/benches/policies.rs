@@ -1,0 +1,44 @@
+//! End-to-end policy throughput: simulated seconds per wall-clock second
+//! for each compared controller, on a short workload slice. This bounds
+//! the cost of regenerating the paper's tables and doubles as a regression
+//! guard on the whole co-simulation stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use thermorl_bench::Policy;
+use thermorl_sim::{run_app, SimConfig};
+use thermorl_workload::AppModel;
+
+fn slice_app() -> AppModel {
+    AppModel::builder("bench-slice")
+        .threads(6)
+        .frames(40)
+        .parallel_gcycles(0.8)
+        .serial_gcycles(0.3)
+        .jitter(0.0)
+        .build()
+        .expect("valid model")
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for policy in [Policy::LinuxOndemand, Policy::Ge2011, Policy::Proposed] {
+        group.bench_function(format!("sim_60s_{}", policy.label()), |b| {
+            let app = slice_app();
+            let config = SimConfig {
+                max_sim_time: 60.0,
+                ..SimConfig::default()
+            };
+            b.iter(|| {
+                let out = run_app(&app, policy.build(7), &config, 7);
+                black_box(out.total_time)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation studies of the paper's design choices (DESIGN.md section 5).
+
+fn main() {
+    println!("# Ablations — decoupling, reward shape\n");
+    println!("{}", thermorl_bench::experiments::ablations());
+}

@@ -1,0 +1,90 @@
+//! Offline analysis of a recorded thermal trace CSV (as written by the
+//! `fig1` / `fig4_5` binaries or [`thermorl_sim::TraceRecorder::to_csv`]):
+//! per-core reliability reports and an ASCII plot.
+//!
+//! ```text
+//! cargo run --release -p thermorl-bench --bin analyze_trace results/fig1_Linux.csv
+//! ```
+
+use thermorl_bench::plot::ascii_chart;
+use thermorl_bench::table::{num, Table};
+use thermorl_reliability::{ReliabilityAnalyzer, ThermalProfile};
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: analyze_trace <trace.csv>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    let num_temps = header.split(',').filter(|c| c.starts_with("temp")).count();
+    if num_temps == 0 {
+        eprintln!("{path}: no tempN columns found in header `{header}`");
+        std::process::exit(1);
+    }
+    let mut times: Vec<f64> = Vec::new();
+    let mut cores: Vec<Vec<f64>> = vec![Vec::new(); num_temps];
+    for line in lines {
+        let mut fields = line.split(',');
+        let Some(t) = fields.next().and_then(|v| v.parse::<f64>().ok()) else {
+            continue;
+        };
+        times.push(t);
+        for core in cores.iter_mut() {
+            if let Some(v) = fields.next().and_then(|v| v.parse::<f64>().ok()) {
+                core.push(v);
+            }
+        }
+    }
+    if times.len() < 2 {
+        eprintln!("{path}: not enough samples");
+        std::process::exit(1);
+    }
+    let dt = (times[times.len() - 1] - times[0]) / (times.len() - 1) as f64;
+
+    println!("# {path}: {} samples at {:.2} s\n", times.len(), dt);
+    let analyzer = ReliabilityAnalyzer::default();
+    let mut table = Table::with_columns(&[
+        "Core", "Avg T", "Peak T", "Cycles", "TC-MTTF (y)", "Age-MTTF (y)",
+    ]);
+    let mut reports = Vec::new();
+    for (c, samples) in cores.iter().enumerate() {
+        let profile = ThermalProfile::from_samples(dt.max(1e-6), samples.clone());
+        let r = analyzer.analyze(&profile);
+        table.row(vec![
+            c.to_string(),
+            num(r.avg_temp_c, 1),
+            num(r.peak_temp_c, 1),
+            num(r.num_cycles, 1),
+            num(r.mttf_cycling_years, 2),
+            num(r.mttf_aging_years, 2),
+        ]);
+        reports.push(r);
+    }
+    println!("{table}");
+    if let Some(summary) = ReliabilityAnalyzer::system_summary(&reports) {
+        println!(
+            "system: worst-core TC-MTTF {:.2} y, Age-MTTF {:.2} y, combined {:.2} y\n",
+            summary.mttf_cycling_years, summary.mttf_aging_years, summary.mttf_combined_years
+        );
+    }
+    let hottest: Vec<f64> = (0..times.len())
+        .map(|i| {
+            cores
+                .iter()
+                .filter_map(|c| c.get(i).copied())
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    println!("{}", ascii_chart(&[("hottest core (degC)", &hottest)], 100, 14));
+}

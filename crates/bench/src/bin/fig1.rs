@@ -1,0 +1,35 @@
+//! Regenerates Figure 1 (motivational thread-assignment experiment).
+
+use std::io::Write;
+
+fn main() {
+    println!("# Figure 1 — thread-to-core affinity influences thermal profile\n");
+    let (table, traces) = thermorl_bench::experiments::figure1();
+    println!("{table}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for (name, csv) in &traces {
+        let path = format!("results/{name}");
+        let mut f = std::fs::File::create(&path).expect("create trace file");
+        f.write_all(csv.as_bytes()).expect("write trace");
+        println!("trace written to {path}");
+        let temps: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| {
+                l.split(',')
+                    .skip(1)
+                    .take(4)
+                    .filter_map(|v| v.parse::<f64>().ok())
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        series.push((name.replace("fig1_", "").replace(".csv", ""), temps));
+    }
+    let refs: Vec<(&str, &[f64])> = series
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_slice()))
+        .collect();
+    println!("\nhottest-core temperature (face_rec then mpeg_enc):\n");
+    println!("{}", thermorl_bench::plot::ascii_chart(&refs, 100, 16));
+}

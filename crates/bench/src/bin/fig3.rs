@@ -1,0 +1,13 @@
+//! Regenerates Figure 3 (inter-application normalised cycling MTTF).
+//!
+//! Pass `--ablate-single-table` to disable the proposed controller's dual
+//! Q-table mechanism.
+
+fn main() {
+    let ablate = std::env::args().any(|a| a == "--ablate-single-table");
+    println!(
+        "# Figure 3 — inter-application TC-MTTF normalised to Linux{}\n",
+        if ablate { " (single-table ablation)" } else { "" }
+    );
+    println!("{}", thermorl_bench::experiments::figure3(ablate));
+}

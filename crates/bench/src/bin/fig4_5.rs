@@ -1,0 +1,41 @@
+//! Regenerates Figures 4 and 5 (exploration vs exploitation phases).
+
+use std::io::Write;
+
+fn main() {
+    println!("# Figures 4 & 5 — learning phases on face_rec\n");
+    let (table, traces) = thermorl_bench::experiments::figure4_5();
+    println!("{table}");
+    std::fs::create_dir_all("results").expect("create results dir");
+    for (name, csv) in &traces {
+        let path = format!("results/{name}");
+        let mut f = std::fs::File::create(&path).expect("create trace file");
+        f.write_all(csv.as_bytes()).expect("write trace");
+        println!("trace written to {path}");
+    }
+    // Inline plot of the two hottest-core series (column 1 of the CSVs is
+    // temp0; we plot the max over the four temp columns).
+    let series: Vec<(String, Vec<f64>)> = traces
+        .iter()
+        .map(|(name, csv)| {
+            let temps: Vec<f64> = csv
+                .lines()
+                .skip(1)
+                .map(|l| {
+                    l.split(',')
+                        .skip(1)
+                        .take(4)
+                        .filter_map(|v| v.parse::<f64>().ok())
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .collect();
+            (name.replace("fig4_5_", "").replace(".csv", ""), temps)
+        })
+        .collect();
+    let refs: Vec<(&str, &[f64])> = series
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_slice()))
+        .collect();
+    println!("\nhottest-core temperature over time:\n");
+    println!("{}", thermorl_bench::plot::ascii_chart(&refs, 100, 16));
+}

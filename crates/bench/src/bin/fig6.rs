@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (temperature sampling interval trade-off).
+
+fn main() {
+    println!("# Figure 6 — impact of the temperature sampling interval (tachyon)\n");
+    println!("{}", thermorl_bench::experiments::figure6());
+}

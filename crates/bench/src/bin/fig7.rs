@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (decision epoch trade-off).
+
+fn main() {
+    println!("# Figure 7 — effect of the decision epoch length\n");
+    println!("{}", thermorl_bench::experiments::figure7());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (state/action space sizing, mpeg_dec).
+
+fn main() {
+    println!("# Figure 8 — convergence vs number of states and actions\n");
+    println!("{}", thermorl_bench::experiments::figure8());
+}

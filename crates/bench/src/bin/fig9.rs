@@ -1,0 +1,7 @@
+//! Regenerates Figure 9 (dynamic power and energy comparison).
+
+fn main() {
+    println!("# Figure 9 — average dynamic power and energy\n");
+    let (_t3, f9) = thermorl_bench::experiments::table3_figure9();
+    println!("{f9}");
+}

@@ -1,0 +1,76 @@
+//! Extension experiment (beyond the paper): robustness to *environmental*
+//! disturbances. The paper varies the workload; here the ambient itself
+//! drifts (enclosure warm-up) or oscillates (HVAC cycling) while mpeg_dec
+//! runs, and the controller must adapt through the same moving-average
+//! machinery it uses for workload changes.
+
+use thermorl_bench::experiments::par_map;
+use thermorl_bench::table::{num, Table};
+use thermorl_bench::{Policy, SEED};
+use thermorl_sim::{run_scenario, AmbientProfile, SimConfig};
+use thermorl_workload::{alpbench, DataSet, Scenario};
+
+fn main() {
+    println!("# Robustness — ambient disturbances (extension, not in the paper)\n");
+    let environments = [
+        ("lab (constant 25C)", None),
+        (
+            "warm-up drift (+10C over run)",
+            Some(AmbientProfile::Drift {
+                start_c: 25.0,
+                rate_c_per_hour: 30.0,
+                limit_c: 37.0,
+            }),
+        ),
+        (
+            "HVAC cycling (+/-6C, 3 min)",
+            Some(AmbientProfile::Sinusoid {
+                mean_c: 25.0,
+                amplitude_c: 6.0,
+                period_s: 180.0,
+            }),
+        ),
+    ];
+    let policies = [Policy::LinuxOndemand, Policy::Proposed];
+    let cells: Vec<(usize, Policy)> = (0..environments.len())
+        .flat_map(|e| policies.iter().map(move |&p| (e, p)))
+        .collect();
+    let envs = environments.clone();
+    let runs = par_map(cells, move |(e, p)| {
+        let mut sim = SimConfig::default();
+        sim.ambient = envs[e].1;
+        let scenario = Scenario::single(alpbench::mpeg_dec(DataSet::One));
+        let out = run_scenario(&scenario, p.build(SEED), &sim, SEED);
+        (e, p, out)
+    });
+
+    let mut table = Table::with_columns(&[
+        "Environment",
+        "Policy",
+        "Avg T",
+        "Peak T",
+        "TC-MTTF (y)",
+        "Age-MTTF (y)",
+        "Exec (s)",
+    ]);
+    for (e, (label, _)) in environments.iter().enumerate() {
+        for &p in &policies {
+            let out = &runs
+                .iter()
+                .find(|(i, q, _)| *i == e && *q == p)
+                .expect("cell present")
+                .2;
+            let s = out.reliability_summary();
+            table.row(vec![
+                label.to_string(),
+                p.label().to_string(),
+                num(out.avg_temperature(), 1),
+                num(out.peak_temperature(), 1),
+                num(s.mttf_cycling_years, 2),
+                num(s.mttf_aging_years, 2),
+                num(out.total_time, 0),
+            ]);
+        }
+    }
+    println!("{table}");
+}

@@ -1,0 +1,70 @@
+//! Runs every experiment and writes markdown + CSV results under
+//! `results/`.
+
+use std::io::Write;
+use std::time::Instant;
+
+fn save(name: &str, content: &str) {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = format!("results/{name}");
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    f.write_all(content.as_bytes()).expect("write result");
+    println!("-> {path}");
+}
+
+fn main() {
+    let t0 = Instant::now();
+
+    println!("[1/9] Figure 1 (motivational)...");
+    let (fig1, traces) = thermorl_bench::experiments::figure1();
+    let mut md = String::from("# Figure 1 — affinity influences thermal profile\n\n");
+    md.push_str(&fig1.to_markdown());
+    save("fig1.md", &md);
+    for (name, csv) in traces {
+        save(&name, &csv);
+    }
+
+    println!("[2/9] Table 2 (intra-application)...");
+    let t2 = thermorl_bench::experiments::table2();
+    save("table2.md", &format!("# Table 2\n\n{t2}"));
+    println!("{t2}");
+
+    println!("[3/9] Figure 3 (inter-application)...");
+    let f3 = thermorl_bench::experiments::figure3(false);
+    save("fig3.md", &format!("# Figure 3\n\n{f3}"));
+    println!("{f3}");
+
+    println!("[4/9] Figures 4 & 5 (learning phases)...");
+    let (f45, traces) = thermorl_bench::experiments::figure4_5();
+    save("fig4_5.md", &format!("# Figures 4 & 5\n\n{f45}"));
+    for (name, csv) in traces {
+        save(&name, &csv);
+    }
+
+    println!("[5/9] Figure 6 (sampling interval)...");
+    let f6 = thermorl_bench::experiments::figure6();
+    save("fig6.md", &format!("# Figure 6\n\n{f6}"));
+
+    println!("[6/9] Figure 7 (decision epoch)...");
+    let f7 = thermorl_bench::experiments::figure7();
+    save("fig7.md", &format!("# Figure 7\n\n{f7}"));
+
+    println!("[7/9] Figure 8 (state/action sizing)...");
+    let f8 = thermorl_bench::experiments::figure8();
+    save("fig8.md", &format!("# Figure 8\n\n{f8}"));
+
+    println!("[8/9] Table 3 + Figure 9 (time/power/energy)...");
+    let (t3, f9) = thermorl_bench::experiments::table3_figure9();
+    save("table3.md", &format!("# Table 3\n\n{t3}"));
+    save("fig9.md", &format!("# Figure 9\n\n{f9}"));
+    println!("{t3}");
+
+    println!("[9/9] Ablations...");
+    let ab = thermorl_bench::experiments::ablations();
+    save("ablations.md", &format!("# Ablations\n\n{ab}"));
+
+    println!(
+        "\nAll experiments regenerated in {:.1} min.",
+        t0.elapsed().as_secs_f64() / 60.0
+    );
+}

@@ -1,0 +1,89 @@
+//! Full-suite matrix: all five ALPBench benchmarks × three datasets ×
+//! three policies. The paper's Table 2 prints three benchmarks; face_rec
+//! and sphinx complete the suite it describes in §6.
+
+use thermorl_bench::experiments::par_map;
+use thermorl_bench::table::{num, Table};
+use thermorl_bench::{Policy, SEED};
+use thermorl_sim::{run_scenario, SimConfig};
+use thermorl_workload::{alpbench, DataSet, Scenario};
+
+fn main() {
+    println!("# Full ALPBench suite — all five benchmarks (extension of Table 2)\n");
+    let names = ["tachyon", "mpeg_dec", "mpeg_enc", "face_rec", "sphinx"];
+    let mut cells = Vec::new();
+    for name in names {
+        for ds in DataSet::all() {
+            for p in Policy::table2() {
+                cells.push((name, ds, p));
+            }
+        }
+    }
+    let runs = par_map(cells, |(name, ds, p)| {
+        let app = alpbench::by_name(name, ds).expect("known benchmark");
+        let scenario = Scenario::single(app.clone());
+        let out = run_scenario(&scenario, p.build(SEED), &SimConfig::default(), SEED);
+        (name, ds, p, app.dataset.clone(), out)
+    });
+
+    let mut table = Table::with_columns(&[
+        "Application",
+        "Data",
+        "Policy",
+        "Avg T",
+        "Peak T",
+        "TC-MTTF (y)",
+        "Age-MTTF (y)",
+        "Combined (y)",
+        "Exec (s)",
+    ]);
+    for name in names {
+        for ds in DataSet::all() {
+            for p in Policy::table2() {
+                let (_, _, _, dataset, out) = runs
+                    .iter()
+                    .find(|(n, d, q, _, _)| *n == name && *d == ds && *q == p)
+                    .expect("cell present");
+                let s = out.reliability_summary();
+                table.row(vec![
+                    name.to_string(),
+                    dataset.clone(),
+                    p.label().to_string(),
+                    num(out.avg_temperature(), 1),
+                    num(out.peak_temperature(), 1),
+                    num(s.mttf_cycling_years, 2),
+                    num(s.mttf_aging_years, 2),
+                    num(s.mttf_combined_years, 2),
+                    num(out.total_time, 0),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+
+    // Aggregate scoreboard: how often each policy has the best combined MTTF.
+    let mut wins = std::collections::HashMap::new();
+    for name in names {
+        for ds in DataSet::all() {
+            let best = Policy::table2()
+                .into_iter()
+                .max_by(|a, b| {
+                    let get = |p: Policy| {
+                        runs.iter()
+                            .find(|(n, d, q, _, _)| *n == name && *d == ds && *q == p)
+                            .expect("cell present")
+                            .4
+                            .reliability_summary()
+                            .mttf_combined_years
+                    };
+                    get(*a).partial_cmp(&get(*b)).expect("finite")
+                })
+                .expect("non-empty");
+            *wins.entry(best.label()).or_insert(0u32) += 1;
+        }
+    }
+    println!("combined-MTTF wins out of 15 rows:");
+    for p in Policy::table2() {
+        println!("  {:<10} {}", p.label(), wins.get(p.label()).unwrap_or(&0));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (intra-application MTTF comparison).
+
+fn main() {
+    println!("# Table 2 — intra-application thermal/lifetime comparison\n");
+    println!("{}", thermorl_bench::experiments::table2());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3 (execution times).
+
+fn main() {
+    println!("# Table 3 — execution time (s) of the compared policies\n");
+    let (t3, _f9) = thermorl_bench::experiments::table3_figure9();
+    println!("{t3}");
+}

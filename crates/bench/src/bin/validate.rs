@@ -1,0 +1,121 @@
+//! Reproduction self-check: verifies the calibration invariants that every
+//! experiment relies on (DESIGN.md §6) and exits non-zero on violation.
+//! Run after any model change to confirm the platform still sits on the
+//! paper's operating points.
+
+use thermorl_bench::Policy;
+use thermorl_reliability::{AgingModel, CyclingParams, ReliabilityAnalyzer};
+use thermorl_sim::{run_app, SimConfig};
+use thermorl_thermal::DieModel;
+use thermorl_workload::{alpbench, DataSet};
+
+struct Check {
+    name: &'static str,
+    ok: bool,
+    detail: String,
+}
+
+fn check(name: &'static str, ok: bool, detail: String) -> Check {
+    Check { name, ok, detail }
+}
+
+fn main() {
+    let mut checks = Vec::new();
+
+    // 1. Idle-core aging MTTF is the paper's 10-year calibration point.
+    let aging = AgingModel::default();
+    let idle = aging.mttf_at_constant(30.0);
+    checks.push(check(
+        "idle core lasts 10 years",
+        (idle - 10.0).abs() < 1e-6,
+        format!("MTTF(30C) = {idle:.6} y"),
+    ));
+
+    // 2. The cycling reference regime hits its calibrated MTTF.
+    let cyc = CyclingParams::default();
+    let n = cyc.a_tc / cyc.cycle_stress(10.0, 50.0);
+    let years = n * 60.0 / thermorl_reliability::SECONDS_PER_YEAR;
+    checks.push(check(
+        "reference cycling regime lasts 12 years",
+        (years - 12.0).abs() < 1e-6,
+        format!("MTTF(10C@50C/60s) = {years:.6} y"),
+    ));
+
+    // 3. Die thermal operating points: idle near 30 C, loaded 65-85 C.
+    let mut die = DieModel::quad_core();
+    for c in 0..4 {
+        die.set_core_power(c, 2.0);
+    }
+    die.settle();
+    let idle_t = die.max_core_temperature();
+    for c in 0..4 {
+        die.set_core_power(c, 20.0);
+    }
+    die.settle();
+    let hot_t = die.max_core_temperature();
+    checks.push(check(
+        "idle die sits in the low thirties",
+        (28.0..34.0).contains(&idle_t),
+        format!("idle core {idle_t:.1} C"),
+    ));
+    checks.push(check(
+        "loaded die sits in the seventies",
+        (65.0..85.0).contains(&hot_t),
+        format!("loaded core {hot_t:.1} C"),
+    ));
+
+    // 4. Table 3 anchor points under Linux ondemand (within 15 %).
+    let sim = SimConfig::default();
+    let tachyon = run_app(
+        &alpbench::tachyon(DataSet::One),
+        Policy::LinuxOndemand.build(42),
+        &sim,
+        42,
+    );
+    checks.push(check(
+        "tachyon/ondemand executes in ~629 s (Table 3)",
+        (535.0..725.0).contains(&tachyon.total_time),
+        format!("measured {:.0} s", tachyon.total_time),
+    ));
+    let summary = tachyon.reliability_summary();
+    checks.push(check(
+        "tachyon set 1 runs hot under Linux (~69 C, Table 2)",
+        (66.0..78.0).contains(&tachyon.avg_temperature()),
+        format!("avg {:.1} C", tachyon.avg_temperature()),
+    ));
+    checks.push(check(
+        "tachyon set 1 keeps a high cycling MTTF under Linux",
+        summary.mttf_cycling_years > 4.0,
+        format!("TC-MTTF {:.1} y", summary.mttf_cycling_years),
+    ));
+
+    // 5. Analyzer consistency: combined MTTF bounded by both mechanisms.
+    let report = ReliabilityAnalyzer::default().analyze(&tachyon.sensor_profiles[0]);
+    checks.push(check(
+        "SOFR combination is conservative",
+        report.mttf_combined_years <= report.mttf_aging_years + 1e-9
+            && report.mttf_combined_years <= report.mttf_cycling_years + 1e-9,
+        format!(
+            "combined {:.2} <= aging {:.2}, cycling {:.2}",
+            report.mttf_combined_years, report.mttf_aging_years, report.mttf_cycling_years
+        ),
+    ));
+
+    let mut failed = 0;
+    for c in &checks {
+        println!(
+            "[{}] {:<48} {}",
+            if c.ok { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+        if !c.ok {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("\n{failed} calibration check(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall {} calibration checks passed", checks.len());
+}

@@ -1,0 +1,25 @@
+//! Experiment harness for the DAC'14 reproduction.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus the
+//! shared plumbing in this library: a [`Policy`] factory covering every
+//! compared technique, markdown [`table`] rendering, and the
+//! [`experiments`] implementations that the binaries and `run_all` share.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p thermorl-bench --bin run_all
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+pub mod policy;
+pub mod table;
+
+pub use policy::Policy;
+pub use table::Table;
+
+/// The master seed used by every experiment (deterministic outputs).
+pub const SEED: u64 = 42;

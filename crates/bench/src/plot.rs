@@ -1,0 +1,127 @@
+//! Terminal line plots for thermal traces.
+//!
+//! The paper's profile figures (1, 4, 5) are time-series plots; this
+//! module renders an adequate ASCII approximation so the experiment
+//! binaries can show the traces inline, next to the CSVs they write.
+
+/// Renders one or more series as an ASCII chart.
+///
+/// Each series gets its own glyph; values are binned into `width` columns
+/// (averaging samples per column) and `height` rows.
+///
+/// # Example
+///
+/// ```
+/// use thermorl_bench::plot::ascii_chart;
+///
+/// let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let chart = ascii_chart(&[("ramp", &ramp)], 40, 10);
+/// assert!(chart.contains("*"));
+/// assert!(chart.contains("99.0")); // max label
+/// ```
+#[allow(clippy::needless_range_loop)] // columns map to sample bins
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 4] = ['*', 'o', '+', 'x'];
+    let width = width.max(8);
+    let height = height.max(3);
+    let finite: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, s)| s.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        if s.is_empty() {
+            continue;
+        }
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for col in 0..width {
+            // Average the samples that fall into this column.
+            let lo = col * s.len() / width;
+            let hi = (((col + 1) * s.len()) / width).max(lo + 1).min(s.len());
+            if lo >= s.len() {
+                break;
+            }
+            let v: f64 = s[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            if !v.is_finite() {
+                continue;
+            }
+            let row = ((v - min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:8.1} |")
+        } else if r == height - 1 {
+            format!("{min:8.1} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}{}\n", "+", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>10}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_has_expected_shape() {
+        let s: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let chart = ascii_chart(&[("sine", &s)], 40, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 10); // 8 rows + axis + legend
+        assert!(lines[9].contains("sine"));
+        assert!(chart.matches('*').count() >= 20);
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = vec![1.0; 30];
+        let b = vec![2.0; 30];
+        let chart = ascii_chart(&[("a", &a), ("b", &b)], 30, 5);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        assert_eq!(ascii_chart(&[("x", &[])], 20, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn labels_show_extremes() {
+        let s = vec![10.0, 20.0, 30.0];
+        let chart = ascii_chart(&[("t", &s)], 12, 4);
+        assert!(chart.contains("30.0"));
+        assert!(chart.contains("10.0"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = vec![5.0; 40];
+        let chart = ascii_chart(&[("c", &s)], 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,115 @@
+//! Factory for every policy compared in the paper.
+
+use thermorl_baselines::{FixedPolicy, GeConfig, GeQiu2011Controller, LinuxDefaultController};
+use thermorl_control::{ControlConfig, DasDac14Controller};
+use thermorl_sim::ThermalController;
+
+/// The policies the paper's evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Linux ondemand, default scheduling (Table 2 "Linux", Table 3
+    /// "ondemand").
+    LinuxOndemand,
+    /// Linux powersave governor (Table 3).
+    LinuxPowersave,
+    /// Fixed userspace 2.4 GHz (Table 3).
+    Linux24GHz,
+    /// Fixed userspace 3.4 GHz (Table 3).
+    Linux34GHz,
+    /// The §3 motivational fixed user assignment (Figure 1).
+    UserAssignment,
+    /// Ge & Qiu DAC'11 \[7\].
+    Ge2011,
+    /// Ge & Qiu modified with the explicit app-switch signal (§6.2).
+    Ge2011Modified,
+    /// The proposed DAC'14 controller.
+    Proposed,
+}
+
+impl Policy {
+    /// The three intra-application policies of Table 2.
+    pub fn table2() -> [Policy; 3] {
+        [Policy::LinuxOndemand, Policy::Ge2011, Policy::Proposed]
+    }
+
+    /// The three inter-application policies of Figure 3.
+    pub fn figure3() -> [Policy; 3] {
+        [
+            Policy::LinuxOndemand,
+            Policy::Ge2011Modified,
+            Policy::Proposed,
+        ]
+    }
+
+    /// The six policies of Table 3 / Figure 9.
+    pub fn table3() -> [Policy; 6] {
+        [
+            Policy::LinuxOndemand,
+            Policy::LinuxPowersave,
+            Policy::Linux24GHz,
+            Policy::Linux34GHz,
+            Policy::Ge2011,
+            Policy::Proposed,
+        ]
+    }
+
+    /// Short column label used in the result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::LinuxOndemand => "Linux",
+            Policy::LinuxPowersave => "powersave",
+            Policy::Linux24GHz => "2.4GHz",
+            Policy::Linux34GHz => "3.4GHz",
+            Policy::UserAssignment => "user-assign",
+            Policy::Ge2011 => "Ge [7]",
+            Policy::Ge2011Modified => "Ge mod [7]",
+            Policy::Proposed => "Proposed",
+        }
+    }
+
+    /// Instantiates the controller with the given seed.
+    pub fn build(self, seed: u64) -> Box<dyn ThermalController> {
+        match self {
+            Policy::LinuxOndemand => Box::new(LinuxDefaultController::new()),
+            Policy::LinuxPowersave => Box::new(FixedPolicy::powersave()),
+            Policy::Linux24GHz => Box::new(FixedPolicy::userspace("linux-2.4GHz", 2)),
+            Policy::Linux34GHz => Box::new(FixedPolicy::userspace("linux-3.4GHz", 5)),
+            Policy::UserAssignment => Box::new(FixedPolicy::user_assignment()),
+            Policy::Ge2011 => Box::new(GeQiu2011Controller::new(GeConfig::default(), seed)),
+            Policy::Ge2011Modified => {
+                Box::new(GeQiu2011Controller::modified(GeConfig::default(), seed))
+            }
+            Policy::Proposed => Box::new(DasDac14Controller::new(ControlConfig::default(), seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_builds() {
+        for p in [
+            Policy::LinuxOndemand,
+            Policy::LinuxPowersave,
+            Policy::Linux24GHz,
+            Policy::Linux34GHz,
+            Policy::UserAssignment,
+            Policy::Ge2011,
+            Policy::Ge2011Modified,
+            Policy::Proposed,
+        ] {
+            let c = p.build(1);
+            assert!(!c.name().is_empty());
+            assert!(!p.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn policy_sets_have_expected_sizes() {
+        assert_eq!(Policy::table2().len(), 3);
+        assert_eq!(Policy::figure3().len(), 3);
+        assert_eq!(Policy::table3().len(), 6);
+    }
+}

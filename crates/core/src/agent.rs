@@ -1,0 +1,598 @@
+//! Algorithm 1: the run-time reinforcement-learning agent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use thermorl_reliability::ThermalProfile;
+use thermorl_sim::{Actuation, Observation, ThermalController};
+
+use crate::action::ActionSpace;
+use crate::alpha::{AlphaSchedule, LearningPhase};
+use crate::config::ControlConfig;
+use crate::ma::{MovingAverageDetector, WorkloadChange};
+use crate::qtable::QTable;
+use crate::state::StateId;
+
+/// The proposed DAC'14 controller (Algorithm 1 of the paper).
+///
+/// Per sensor sample it records the temperature (`TRec.push(T)`); once a
+/// decision epoch's worth of samples has accumulated it:
+///
+/// 1. computes the window's stress and aging hazards (worst core),
+/// 2. updates moving averages and classifies the change as none / intra /
+///    inter (§5.4), restoring or resetting the Q-table accordingly,
+/// 3. identifies the state, computes the reward of the previous action
+///    (Eq. 8) and updates the Q-table (Eq. 7),
+/// 4. selects the next action (arbitrary during exploration, ε-greedy
+///    afterwards) and decays α (§5.3),
+/// 5. clears `TRec` and issues the action as affinity masks + governor.
+pub struct DasDac14Controller {
+    cfg: ControlConfig,
+    actions: Option<ActionSpace>,
+    qtable: Option<QTable>,
+    q_exp: Option<Vec<f64>>,
+    alpha: AlphaSchedule,
+    detector: MovingAverageDetector,
+    rng: StdRng,
+    trec: Vec<Vec<f64>>,
+    prev: Option<(StateId, usize)>,
+    epochs: u64,
+    intra_events: u64,
+    inter_events: u64,
+    last_policy: Vec<usize>,
+    stable_epochs: usize,
+    convergence_epoch: Option<u64>,
+    last_decision: Option<EpochDecision>,
+    /// While `epochs < use_static_until`, actions are selected from the
+    /// static `Q_exp` table (intra-application adaptation, §5.4).
+    use_static_until: u64,
+    /// Pending warm-start state applied at `on_start`.
+    warm_start: Option<(Vec<f64>, f64)>,
+    name: String,
+}
+
+/// Telemetry of the most recent decision epoch (exposed for experiment
+/// harnesses and debugging).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochDecision {
+    /// Window stress hazard (10 / MTTF_tc years).
+    pub stress: f64,
+    /// Window aging hazard (10 / MTTF_aging years).
+    pub aging: f64,
+    /// Identified state.
+    pub state: StateId,
+    /// Chosen action index.
+    pub action: usize,
+    /// Reward granted to the previous action (0 at epoch 1).
+    pub reward: f64,
+    /// α at decision time.
+    pub alpha: f64,
+}
+
+impl std::fmt::Debug for DasDac14Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DasDac14Controller")
+            .field("epochs", &self.epochs)
+            .field("alpha", &self.alpha.alpha())
+            .field("phase", &self.alpha.phase())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DasDac14Controller {
+    /// Creates the agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ControlConfig::validate`].
+    pub fn new(cfg: ControlConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid controller configuration");
+        let alpha = cfg.alpha;
+        let detector = cfg.detector.clone();
+        DasDac14Controller {
+            actions: cfg.action_space.clone(),
+            alpha,
+            detector,
+            rng: StdRng::seed_from_u64(seed ^ 0xDAC1_4DAC_14DA_C14D),
+            trec: Vec::new(),
+            prev: None,
+            epochs: 0,
+            intra_events: 0,
+            inter_events: 0,
+            last_policy: Vec::new(),
+            stable_epochs: 0,
+            convergence_epoch: None,
+            last_decision: None,
+            use_static_until: 0,
+            warm_start: None,
+            qtable: None,
+            q_exp: None,
+            name: "proposed-dac14".to_string(),
+            cfg,
+        }
+    }
+
+    /// Renames the controller (for ablation variants in result tables).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Warm-starts the agent from a previously learned Q-table (as
+    /// returned by [`QTable::snapshot`]) and an initial α. The table
+    /// becomes both the live table and the `Q_exp` snapshot, so the agent
+    /// skips the exploration phase entirely — the deployment regime where
+    /// learning cost is amortised across runs.
+    ///
+    /// # Panics
+    ///
+    /// `on_start` panics later if the snapshot's size does not match the
+    /// state × action dimensions in force.
+    pub fn with_warm_start(mut self, table: Vec<f64>, alpha: f64) -> Self {
+        self.warm_start = Some((table, alpha.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Exports the live Q-table for a future warm start (None before
+    /// `on_start`).
+    pub fn export_table(&self) -> Option<Vec<f64>> {
+        self.qtable.as_ref().map(|q| q.snapshot())
+    }
+
+    /// Decision epochs completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Current learning rate α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha.alpha()
+    }
+
+    /// Current learning phase.
+    pub fn phase(&self) -> LearningPhase {
+        self.alpha.phase()
+    }
+
+    /// Intra-application adaptations performed.
+    pub fn intra_events(&self) -> u64 {
+        self.intra_events
+    }
+
+    /// Inter-application re-learning resets performed.
+    pub fn inter_events(&self) -> u64 {
+        self.inter_events
+    }
+
+    /// Epoch at which the greedy policy stabilised, if it has (the
+    /// "number of iterations" metric of Figure 8).
+    pub fn convergence_epoch(&self) -> Option<u64> {
+        self.convergence_epoch
+    }
+
+    /// The live Q-table (after `on_start`).
+    pub fn q_table(&self) -> Option<&QTable> {
+        self.qtable.as_ref()
+    }
+
+    /// Telemetry of the most recent decision epoch.
+    pub fn last_decision(&self) -> Option<EpochDecision> {
+        self.last_decision
+    }
+
+    /// The action space in use (after `on_start`).
+    pub fn action_space(&self) -> Option<&ActionSpace> {
+        self.actions.as_ref()
+    }
+
+    /// Worst-core (stress, aging) hazards of a sample window.
+    fn window_hazards(&self, dt: f64) -> (f64, f64) {
+        let mut stress: f64 = 0.0;
+        let mut aging: f64 = 0.0;
+        for core_samples in &self.trec {
+            let profile = ThermalProfile::from_samples(dt, core_samples.clone());
+            let report = self.cfg.analyzer.analyze(&profile);
+            let s = if report.mttf_cycling_years.is_finite() {
+                10.0 / report.mttf_cycling_years
+            } else {
+                0.0
+            };
+            let a = if report.mttf_aging_years.is_finite() {
+                10.0 / report.mttf_aging_years
+            } else {
+                0.0
+            };
+            stress = stress.max(s);
+            aging = aging.max(a);
+        }
+        (stress, aging)
+    }
+
+    fn select_action(&mut self, state: StateId) -> usize {
+        let n = self
+            .actions
+            .as_ref()
+            .expect("on_start must run before sampling")
+            .len();
+        match self.alpha.phase() {
+            // "The agent selects action arbitrarily to determine the
+            // corresponding reward": a round-robin sweep covers every
+            // action during the short exploration phase (a uniform draw
+            // would leave most of the space unvisited).
+            LearningPhase::Exploration => (self.epochs as usize) % n,
+            _ => {
+                let eps = self.cfg.epsilon_scale * self.alpha.alpha();
+                if self.rng.gen::<f64>() < eps {
+                    self.rng.gen_range(0..n)
+                } else if self.epochs < self.use_static_until {
+                    // Intra-adaptation window: act from the static table.
+                    self.best_static_action(state, n)
+                } else {
+                    self.qtable
+                        .as_ref()
+                        .expect("table exists after on_start")
+                        .best_action(state)
+                        .0
+                }
+            }
+        }
+    }
+
+    /// Greedy action of the static `Q_exp` table for `state`.
+    fn best_static_action(&self, state: StateId, n: usize) -> usize {
+        match &self.q_exp {
+            Some(snap) => {
+                let row = &snap[state.index() * n..(state.index() + 1) * n];
+                let mut best = 0;
+                let mut best_q = row[0];
+                for (i, &q) in row.iter().enumerate().skip(1) {
+                    if q > best_q {
+                        best = i;
+                        best_q = q;
+                    }
+                }
+                best
+            }
+            None => self
+                .qtable
+                .as_ref()
+                .expect("table exists after on_start")
+                .best_action(state)
+                .0,
+        }
+    }
+}
+
+impl ThermalController for DasDac14Controller {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn sampling_interval(&self) -> f64 {
+        self.cfg.sampling_interval
+    }
+
+    fn on_start(&mut self, num_threads: usize, num_cores: usize) {
+        if self.actions.is_none() {
+            self.actions = Some(ActionSpace::paper_default(
+                num_threads,
+                num_cores,
+                &self.cfg.opp_table,
+            ));
+        }
+        let n_actions = self.actions.as_ref().expect("just set").len();
+        let mut table = QTable::new(self.cfg.state_space.len(), n_actions);
+        if let Some((snapshot, alpha)) = self.warm_start.take() {
+            table.restore(&snapshot);
+            self.q_exp = Some(snapshot);
+            // Jump the schedule to the requested α by decaying from 1.
+            while self.alpha.alpha() > alpha && self.alpha.alpha() > 1e-6 {
+                self.alpha.step();
+            }
+        }
+        self.qtable = Some(table);
+        self.trec = vec![Vec::with_capacity(self.cfg.epoch_samples); num_cores];
+    }
+
+    fn on_sample(&mut self, obs: &Observation<'_>) -> Option<Actuation> {
+        // TRec.push(T): record this sample on every core.
+        if self.trec.len() != obs.sensor_temps.len() {
+            self.trec = vec![Vec::with_capacity(self.cfg.epoch_samples); obs.sensor_temps.len()];
+        }
+        for (buf, &t) in self.trec.iter_mut().zip(obs.sensor_temps) {
+            buf.push(t);
+        }
+        if self.trec[0].len() < self.cfg.epoch_samples {
+            return None;
+        }
+
+        // ---- A decision epoch has completed. ----
+        let (stress, aging) = self.window_hazards(self.cfg.sampling_interval);
+
+        // §5.4: classify the moving-average change. Detection is armed
+        // once exploration has produced a snapshot (before that, the
+        // agent's own arbitrary actions would trigger false positives).
+        let change = self.detector.observe(stress, aging);
+        if self.cfg.detect_changes && self.q_exp.is_some() {
+            match change {
+                WorkloadChange::Inter => {
+                    // Q ← 0, α ← 1: relearn from scratch.
+                    if let Some(q) = &mut self.qtable {
+                        q.reset();
+                    }
+                    self.alpha.reset();
+                    self.detector.reset();
+                    self.q_exp = None;
+                    self.prev = None;
+                    self.inter_events += 1;
+                    self.stable_epochs = 0;
+                }
+                WorkloadChange::Intra => {
+                    // §5.4: "the Q-table [is] updated with the Q values
+                    // from the end of the exploration phase" — the agent
+                    // keeps two tables, so we read this as *acting from*
+                    // the static exploration table for a detector window
+                    // while the live table keeps learning at α_exp
+                    // (overwriting the live table on every intra event
+                    // would freeze learning under continuous
+                    // intra-application modulation).
+                    if self.cfg.dual_q_tables && self.q_exp.is_some() {
+                        self.use_static_until = self.epochs + 3;
+                    }
+                    self.alpha.restore_exp();
+                    self.intra_events += 1;
+                    self.stable_epochs = 0;
+                }
+                WorkloadChange::None => {}
+            }
+        }
+
+        // IdentifyState + CalculateReward + UpdateQtable (Eq. 7 & 8).
+        let state = self.cfg.state_space.identify(stress, aging);
+        let mut last_reward = 0.0;
+        if let Some((ps, pa)) = self.prev {
+            let (mean_s, mean_a) = self.detector.current().unwrap_or((stress, aging));
+            let r = self.cfg.reward.reward(
+                &self.cfg.state_space,
+                state,
+                stress,
+                aging,
+                mean_s,
+                mean_a,
+                obs.fps,
+                obs.perf_constraint,
+            );
+            last_reward = r;
+            if let Some(q) = &mut self.qtable {
+                q.update(ps, pa, r, self.alpha.alpha(), self.cfg.gamma, state);
+            }
+        }
+
+        // SelectAction + UpdateLearningRate.
+        let action_idx = self.select_action(state);
+        self.last_decision = Some(EpochDecision {
+            stress,
+            aging,
+            state,
+            action: action_idx,
+            reward: last_reward,
+            alpha: self.alpha.alpha(),
+        });
+        if self.alpha.step() {
+            // End of exploration: take the Q_exp snapshot (§5.4).
+            self.q_exp = self.qtable.as_ref().map(|q| q.snapshot());
+        }
+        self.prev = Some((state, action_idx));
+        for buf in &mut self.trec {
+            buf.clear();
+        }
+        self.epochs += 1;
+
+        // Convergence bookkeeping (Figure 8).
+        if let Some(q) = &self.qtable {
+            let policy = q.greedy_policy();
+            if policy == self.last_policy {
+                self.stable_epochs += 1;
+            } else {
+                self.stable_epochs = 0;
+                self.last_policy = policy;
+            }
+            if self.convergence_epoch.is_none()
+                && self.stable_epochs >= self.cfg.stability_epochs
+                && self.alpha.phase() != LearningPhase::Exploration
+            {
+                self.convergence_epoch = Some(self.epochs);
+            }
+        }
+
+        let action = self
+            .actions
+            .as_ref()
+            .expect("on_start must run before sampling")
+            .get(action_idx);
+        Some(Actuation {
+            assignment: Some(action.assignment.clone()),
+            governor: Some(action.governor),
+            per_core_governors: action.per_core_governors.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermorl_platform::CounterSnapshot;
+
+    fn obs<'a>(temps: &'a [f64], freqs: &'a [f64], time: f64) -> Observation<'a> {
+        Observation {
+            time,
+            sensor_temps: temps,
+            fps: 1.0,
+            perf_constraint: 0.8,
+            app_name: "test",
+            app_index: 0,
+            app_switched: false,
+            counters: CounterSnapshot::default(),
+            core_freq_ghz: freqs,
+        }
+    }
+
+    fn agent() -> DasDac14Controller {
+        let mut cfg = ControlConfig::default();
+        cfg.epoch_samples = 4;
+        let mut a = DasDac14Controller::new(cfg, 3);
+        a.on_start(6, 4);
+        a
+    }
+
+    /// Feeds `n` epochs of a synthetic temperature generator.
+    fn feed<F: FnMut(u64) -> f64>(a: &mut DasDac14Controller, epochs: usize, mut temp: F) -> u64 {
+        let freqs = [3.4; 4];
+        let mut decisions = 0;
+        let mut k = 0u64;
+        for _ in 0..epochs * 4 {
+            let t = temp(k);
+            let temps = [t, t + 1.0, t - 1.0, t];
+            if a.on_sample(&obs(&temps, &freqs, k as f64 * 3.0)).is_some() {
+                decisions += 1;
+            }
+            k += 1;
+        }
+        decisions
+    }
+
+    #[test]
+    fn decides_once_per_epoch() {
+        let mut a = agent();
+        let decisions = feed(&mut a, 10, |_| 45.0);
+        assert_eq!(decisions, 10);
+        assert_eq!(a.epochs(), 10);
+    }
+
+    #[test]
+    fn alpha_decays_and_phases_advance() {
+        let mut a = agent();
+        assert_eq!(a.phase(), LearningPhase::Exploration);
+        feed(&mut a, 40, |_| 45.0);
+        assert!(a.alpha() < 0.1);
+        assert_eq!(a.phase(), LearningPhase::Exploitation);
+    }
+
+    #[test]
+    fn snapshot_taken_at_end_of_exploration() {
+        let mut a = agent();
+        assert!(a.q_exp.is_none());
+        feed(&mut a, 10, |_| 45.0);
+        assert!(a.q_exp.is_some(), "Q_exp snapshot should exist");
+    }
+
+    #[test]
+    fn inter_change_resets_learning() {
+        let mut a = agent();
+        // Converge on a cool workload.
+        feed(&mut a, 20, |_| 40.0);
+        assert!(a.alpha() < 0.6);
+        // Sudden hot, cycling workload: square wave 45..75.
+        feed(&mut a, 10, |k| if k % 2 == 0 { 45.0 } else { 75.0 });
+        assert!(a.inter_events() >= 1, "switch should be detected");
+        // Alpha went back up at the reset.
+        assert!(a.epochs() >= 25);
+    }
+
+    #[test]
+    fn steady_workload_triggers_no_events() {
+        let mut a = agent();
+        feed(&mut a, 30, |_| 45.0);
+        assert_eq!(a.inter_events(), 0);
+        assert_eq!(a.intra_events(), 0);
+    }
+
+    #[test]
+    fn detection_can_be_disabled() {
+        let mut cfg = ControlConfig::default();
+        cfg.epoch_samples = 4;
+        cfg.detect_changes = false;
+        let mut a = DasDac14Controller::new(cfg, 3);
+        a.on_start(6, 4);
+        feed(&mut a, 20, |_| 40.0);
+        feed(&mut a, 10, |k| if k % 2 == 0 { 45.0 } else { 75.0 });
+        assert_eq!(a.inter_events(), 0);
+    }
+
+    #[test]
+    fn actions_carry_assignment_and_governor() {
+        let mut a = agent();
+        let freqs = [3.4; 4];
+        let temps = [45.0; 4];
+        let mut act = None;
+        for k in 0..4 {
+            act = a.on_sample(&obs(&temps, &freqs, k as f64 * 3.0));
+        }
+        let act = act.expect("4th sample closes the epoch");
+        assert!(act.assignment.is_some());
+        assert!(act.governor.is_some());
+        assert_eq!(act.assignment.unwrap().len(), 6);
+    }
+
+    #[test]
+    fn convergence_is_eventually_declared_on_steady_input() {
+        let mut a = agent();
+        feed(&mut a, 60, |_| 45.0);
+        assert!(
+            a.convergence_epoch().is_some(),
+            "steady input must converge: alpha={}",
+            a.alpha()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut cfg = ControlConfig::default();
+            cfg.epoch_samples = 4;
+            let mut a = DasDac14Controller::new(cfg, seed);
+            a.on_start(6, 4);
+            feed(&mut a, 30, |k| 40.0 + (k % 7) as f64);
+            (a.alpha(), a.q_table().unwrap().snapshot())
+        };
+        assert_eq!(run(5).1, run(5).1);
+    }
+
+    #[test]
+    fn warm_start_skips_exploration() {
+        let mut cfg = ControlConfig::default();
+        cfg.epoch_samples = 4;
+        // Train a donor agent.
+        let mut donor = DasDac14Controller::new(cfg.clone(), 3);
+        donor.on_start(6, 4);
+        feed(&mut donor, 30, |_| 45.0);
+        let table = donor.export_table().expect("trained table");
+
+        let mut warm = DasDac14Controller::new(cfg, 4).with_warm_start(table.clone(), 0.2);
+        warm.on_start(6, 4);
+        assert!(warm.alpha() <= 0.2 + 1e-9, "alpha jumped to {}", warm.alpha());
+        assert_ne!(
+            warm.phase(),
+            LearningPhase::Exploration,
+            "warm start must skip exploration"
+        );
+        assert_eq!(warm.q_table().unwrap().snapshot(), table);
+        // And it still decides normally.
+        let decisions = feed(&mut warm, 5, |_| 45.0);
+        assert_eq!(decisions, 5);
+    }
+
+    #[test]
+    fn name_override() {
+        let a = DasDac14Controller::new(ControlConfig::default(), 1).with_name("ablation-x");
+        assert_eq!(a.name(), "ablation-x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid controller configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = ControlConfig::default();
+        cfg.gamma = 2.0;
+        let _ = DasDac14Controller::new(cfg, 1);
+    }
+}

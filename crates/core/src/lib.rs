@@ -1,0 +1,63 @@
+//! The DAC'14 reinforcement-learning thermal lifetime controller.
+//!
+//! This crate is the paper's primary contribution: a Q-learning agent that
+//! learns, at run time, the relationship between joint **thread-to-core
+//! affinity and CPU governor** actions and the resulting **thermal stress
+//! and aging** of the cores, in order to maximise mean time to failure.
+//! The pieces map one-to-one onto Section 5 of the paper:
+//!
+//! * [`StateSpace`] (§5.1) — the environment `E : (A x S)` is the
+//!   discretised (aging, stress) pair, computed over a *decision epoch*
+//!   from sensor samples taken at a separate, finer sampling interval
+//!   (contribution 2 of the paper).
+//! * [`ActionSpace`] (§5.1) — `ℵ : (M × G)`, a restricted set of thread
+//!   assignments crossed with the five cpufreq governors (three userspace
+//!   frequencies).
+//! * [`RewardFunction`] (§5.2, Eq. 8) — penalises thermally unsafe states
+//!   with `−ŝ·â`; otherwise rewards thermal safety through Gaussian
+//!   learning weights `K₁, K₂` plus the performance term `(P − P_c)`.
+//! * [`AlphaSchedule`] (§5.3) — exponentially decaying learning rate that
+//!   moves the agent through exploration → exploration-exploitation →
+//!   exploitation.
+//! * [`MovingAverageDetector`] (§5.4) — dual-threshold change detection on
+//!   moving averages of stress and aging that classifies workload changes
+//!   as *intra*-application (restore the Q-table snapshot taken at the end
+//!   of exploration) or *inter*-application (reset the Q-table, relearn) —
+//!   implemented with the paper's **two Q-tables**.
+//! * [`DasDac14Controller`] (Algorithm 1) — the run-time agent, pluggable
+//!   into [`thermorl_sim`]'s engine.
+//!
+//! # Example
+//!
+//! ```
+//! use thermorl_control::{ControlConfig, DasDac14Controller};
+//! use thermorl_sim::{run_app, SimConfig};
+//! use thermorl_workload::{alpbench, DataSet};
+//!
+//! let app = alpbench::mpeg_dec(DataSet::One);
+//! let controller = DasDac14Controller::new(ControlConfig::default(), 7);
+//! let mut config = SimConfig::default();
+//! config.max_sim_time = 60.0; // truncated for the doc test
+//! let outcome = run_app(&app, Box::new(controller), &config, 7);
+//! assert_eq!(outcome.controller_name, "proposed-dac14");
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod action;
+pub mod agent;
+pub mod alpha;
+pub mod config;
+pub mod ma;
+pub mod qtable;
+pub mod reward;
+pub mod state;
+
+pub use action::{Action, ActionSpace};
+pub use agent::{DasDac14Controller, EpochDecision};
+pub use alpha::{AlphaSchedule, LearningPhase};
+pub use config::ControlConfig;
+pub use ma::{MovingAverageDetector, WorkloadChange};
+pub use qtable::QTable;
+pub use reward::RewardFunction;
+pub use state::{StateId, StateSpace};

@@ -1,0 +1,136 @@
+//! Miner's-rule accumulation of cycling damage (Eq. 4–5 of the paper).
+//!
+//! Given rainflow cycles with per-cycle cycles-to-failure `N_TC(i)`, the
+//! effective cycles-to-failure is the harmonic mean
+//! `N_TC = m / Σ 1/N_TC(i)` (Eq. 5) and
+//! `MTTF = N_TC · Σ t_i / m` (Eq. 4), which simplifies to
+//! `MTTF = Σ t_i / Σ (1/N_TC(i))` — total observed time divided by the
+//! accumulated damage fraction.
+
+use crate::coffin_manson::CyclingParams;
+use crate::profile::ThermalProfile;
+use crate::rainflow::{Cycle, RainflowCounter};
+use crate::SECONDS_PER_YEAR;
+
+/// Accumulated damage fraction of a counted cycle set: `Σ count/N_TC(i)`.
+/// A damage of 1.0 means end of life.
+pub fn damage(params: &CyclingParams, cycles: &[Cycle]) -> f64 {
+    cycles
+        .iter()
+        .map(|c| {
+            let n = params.cycles_to_failure(c);
+            if n.is_finite() {
+                c.count / n
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Thermal-cycling MTTF in years for cycles observed over
+/// `observed_seconds` of execution (Eq. 4–5). Returns `INFINITY` when the
+/// profile inflicted no damage.
+///
+/// # Panics
+///
+/// Panics if `observed_seconds` is not positive.
+pub fn mttf_years(params: &CyclingParams, cycles: &[Cycle], observed_seconds: f64) -> f64 {
+    assert!(observed_seconds > 0.0, "observation window must be positive");
+    let d = damage(params, cycles);
+    if d == 0.0 {
+        f64::INFINITY
+    } else {
+        observed_seconds / d / SECONDS_PER_YEAR
+    }
+}
+
+/// Convenience: rainflow-counts a profile and returns its cycling MTTF.
+pub fn mttf_of_profile(
+    params: &CyclingParams,
+    counter: &RainflowCounter,
+    profile: &ThermalProfile,
+) -> f64 {
+    if profile.is_empty() {
+        return f64::INFINITY;
+    }
+    mttf_years(params, &counter.count(profile), profile.duration())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(range: f64, max_temp: f64, count: f64) -> Cycle {
+        Cycle {
+            range,
+            mean: max_temp - range / 2.0,
+            max_temp,
+            count,
+            duration: 10.0,
+        }
+    }
+
+    #[test]
+    fn no_cycles_no_damage() {
+        let p = CyclingParams::default();
+        assert_eq!(damage(&p, &[]), 0.0);
+        assert_eq!(mttf_years(&p, &[], 100.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn subthreshold_cycles_are_free() {
+        let p = CyclingParams::default();
+        let cycles = vec![cycle(1.0, 90.0, 1.0); 100];
+        assert_eq!(damage(&p, &cycles), 0.0);
+    }
+
+    #[test]
+    fn damage_is_linear_in_count() {
+        let p = CyclingParams::default();
+        let one = damage(&p, &[cycle(15.0, 60.0, 1.0)]);
+        let ten = damage(&p, &vec![cycle(15.0, 60.0, 1.0); 10]);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+        let half = damage(&p, &[cycle(15.0, 60.0, 0.5)]);
+        assert!((half - 0.5 * one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mttf_matches_reference_regime() {
+        // One 10-degree cycle at 50degC per minute is the calibration
+        // point of CyclingParams::default().
+        let target = crate::coffin_manson::ReferenceRegime::default().mttf_years;
+        let p = CyclingParams::default();
+        let cycles = vec![cycle(10.0, 50.0, 1.0); 60];
+        let mttf = mttf_years(&p, &cycles, 3600.0);
+        assert!((mttf - target).abs() / target < 1e-9, "mttf {mttf}");
+    }
+
+    #[test]
+    fn more_observed_time_per_damage_lengthens_life() {
+        let p = CyclingParams::default();
+        let cycles = vec![cycle(12.0, 55.0, 1.0); 10];
+        let dense = mttf_years(&p, &cycles, 100.0);
+        let sparse = mttf_years(&p, &cycles, 1000.0);
+        assert!((sparse / dense - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_convenience_agrees_with_manual_path() {
+        let params = CyclingParams::default();
+        let counter = RainflowCounter::default();
+        let profile: ThermalProfile = (0..600)
+            .map(|i| 50.0 + 12.0 * (i as f64 * 0.2).sin())
+            .collect();
+        let manual = mttf_years(&params, &counter.count(&profile), profile.duration());
+        let auto = mttf_of_profile(&params, &counter, &profile);
+        assert!((manual - auto).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation window")]
+    fn zero_window_rejected() {
+        let p = CyclingParams::default();
+        let _ = mttf_years(&p, &[], 0.0);
+    }
+}

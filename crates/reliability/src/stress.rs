@@ -1,0 +1,119 @@
+//! Aggregate thermal stress (Eq. 6 of the paper):
+//!
+//! ```text
+//! Thermal Stress = Σ_i (δT_i − T_th)^b · e^{−E_a / (K · T_max(i))}
+//! ```
+//!
+//! The stress of a profile summarises the damage its thermal cycles inflict;
+//! the paper's Q-learning state space discretises exactly this quantity
+//! (together with aging). Maximising cycling MTTF is equivalent to
+//! minimising stress, since `MTTF = A_TC · Σ t_i / Stress`.
+
+use crate::coffin_manson::CyclingParams;
+use crate::profile::ThermalProfile;
+use crate::rainflow::{Cycle, RainflowCounter};
+
+/// Total stress of a counted cycle set, weighting half cycles by 0.5.
+pub fn stress_of_cycles(params: &CyclingParams, cycles: &[Cycle]) -> f64 {
+    cycles
+        .iter()
+        .map(|c| c.count * params.cycle_stress(c.range, c.max_temp))
+        .sum()
+}
+
+/// Convenience: rainflow-counts `profile` and returns its total stress.
+pub fn stress_of_profile(
+    params: &CyclingParams,
+    counter: &RainflowCounter,
+    profile: &ThermalProfile,
+) -> f64 {
+    stress_of_cycles(params, &counter.count(profile))
+}
+
+/// Stress accumulation rate in stress-units per second (stress divided by
+/// profile duration); returns 0 for empty profiles.
+pub fn stress_rate(
+    params: &CyclingParams,
+    counter: &RainflowCounter,
+    profile: &ThermalProfile,
+) -> f64 {
+    if profile.is_empty() {
+        return 0.0;
+    }
+    stress_of_profile(params, counter, profile) / profile.duration()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_profile(amplitude: f64, mean: f64, n: usize) -> ThermalProfile {
+        (0..n)
+            .map(|i| mean + amplitude * (i as f64 * 0.35).sin())
+            .collect()
+    }
+
+    #[test]
+    fn flat_profile_has_zero_stress() {
+        let p = ThermalProfile::from_samples(1.0, vec![45.0; 500]);
+        let s = stress_of_profile(
+            &CyclingParams::default(),
+            &RainflowCounter::default(),
+            &p,
+        );
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn bigger_swings_mean_more_stress() {
+        let params = CyclingParams::default();
+        let counter = RainflowCounter::default();
+        let small = stress_of_profile(&params, &counter, &sine_profile(5.0, 50.0, 400));
+        let large = stress_of_profile(&params, &counter, &sine_profile(20.0, 50.0, 400));
+        assert!(large > small * 2.0, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn hotter_cycles_mean_more_stress() {
+        let params = CyclingParams::default();
+        let counter = RainflowCounter::default();
+        let cool = stress_of_profile(&params, &counter, &sine_profile(10.0, 40.0, 400));
+        let hot = stress_of_profile(&params, &counter, &sine_profile(10.0, 70.0, 400));
+        assert!(hot > cool);
+    }
+
+    #[test]
+    fn stress_is_additive_over_cycles() {
+        let params = CyclingParams::default();
+        let counter = RainflowCounter::default();
+        let p = sine_profile(12.0, 55.0, 600);
+        let cycles = counter.count(&p);
+        let total = stress_of_cycles(&params, &cycles);
+        let sum_parts: f64 = cycles
+            .iter()
+            .map(|c| c.count * params.cycle_stress(c.range, c.max_temp))
+            .sum();
+        assert!((total - sum_parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stress_rate_normalises_by_duration() {
+        let params = CyclingParams::default();
+        let counter = RainflowCounter::default();
+        // Same waveform, both one full repetition set, different dt.
+        let fast = ThermalProfile::from_samples(1.0, sine_profile(10.0, 50.0, 400).samples().to_vec());
+        let slow = ThermalProfile::from_samples(2.0, sine_profile(10.0, 50.0, 400).samples().to_vec());
+        let rf = stress_rate(&params, &counter, &fast);
+        let rs = stress_rate(&params, &counter, &slow);
+        assert!((rf / rs - 2.0).abs() < 1e-9, "rate should halve when time doubles");
+    }
+
+    #[test]
+    fn empty_profile_rate_is_zero() {
+        let p = ThermalProfile::from_samples(1.0, vec![]);
+        assert_eq!(
+            stress_rate(&CyclingParams::default(), &RainflowCounter::default(), &p),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Concurrent-application co-simulation (the paper's §7 future-work
+//! extension).
+//!
+//! Instead of running applications back-to-back ([`crate::run_scenario`]),
+//! [`run_concurrent`] gives every application its own thread pool on the
+//! *same* machine and runs them simultaneously. The controller sees one
+//! merged observation: performance is the worst *relative* performance
+//! across the still-running applications (`min_i P_i / P_c,i`, against a
+//! constraint of 1.0), and the explicit `app_switched` flag fires when the
+//! workload mix changes (an application completes).
+
+use thermorl_platform::{AffinityMask, Machine, ThreadDemand};
+use thermorl_reliability::ThermalProfile;
+use thermorl_thermal::{DieModel, Floorplan, SensorBank};
+use thermorl_workload::{AppExecution, AppModel};
+
+use crate::controller::{Observation, ThermalController};
+use crate::engine::SimConfig;
+use crate::metrics::{AppResult, RunOutcome};
+
+/// Runs `apps` concurrently under `controller`.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty or the configuration is invalid.
+pub fn run_concurrent(
+    apps: &[AppModel],
+    mut controller: Box<dyn ThermalController>,
+    config: &SimConfig,
+    seed: u64,
+) -> RunOutcome {
+    assert!(!apps.is_empty(), "need at least one application");
+    assert!(config.tick > 0.0, "tick must be positive");
+    let num_cores = config.machine.scheduler.num_cores;
+    let floorplan = if num_cores == 4 {
+        Floorplan::quad()
+    } else {
+        Floorplan::grid(num_cores, 1)
+    };
+    let mut die = DieModel::new(floorplan, config.die);
+    let mut machine = Machine::new(config.machine.clone(), seed);
+    let mut metrics_sensors = SensorBank::new(num_cores, config.sensor, seed ^ 0x11AA);
+    let mut controller_sensors = SensorBank::new(num_cores, config.sensor, seed ^ 0x22BB);
+
+    // One thread pool slice per application.
+    let mut offsets = Vec::with_capacity(apps.len() + 1);
+    offsets.push(0usize);
+    let mut thread_ids = Vec::new();
+    for app in apps {
+        for _ in 0..app.num_threads {
+            let id = machine.add_thread(AffinityMask::all(num_cores));
+            machine.set_memory_intensity(id, app.mem_intensity);
+            thread_ids.push(id);
+        }
+        offsets.push(thread_ids.len());
+    }
+    let total_threads = thread_ids.len();
+    controller.on_start(total_threads, num_cores);
+
+    let mut execs: Vec<AppExecution> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, app)| AppExecution::new(app.clone(), seed.wrapping_add(i as u64 * 7919)))
+        .collect();
+
+    let mut profiles =
+        vec![ThermalProfile::from_samples(config.metrics_interval, vec![]); num_cores];
+    let mut time = 0.0f64;
+    let mut sample_timer = 0.0f64;
+    let mut metrics_timer = 0.0f64;
+    let mut samples = 0u64;
+    let mut decisions = 0u64;
+    let mut completed = true;
+    let mut running = apps.len();
+    let mut pending_mix_change = false;
+    let sampling_interval = controller.sampling_interval().max(config.tick);
+    let mixed_name = apps
+        .iter()
+        .map(|a| a.name.replace('_', ""))
+        .collect::<Vec<_>>()
+        .join("+");
+
+    while running > 0 {
+        if time >= config.max_sim_time {
+            completed = false;
+            break;
+        }
+        // Merge per-app thread needs into one demand vector.
+        let mut demands = Vec::with_capacity(total_threads);
+        for exec in &execs {
+            for need in exec.thread_needs() {
+                demands.push(ThreadDemand {
+                    runnable: need.runnable,
+                    activity: need.activity,
+                });
+            }
+        }
+        let temps = die.core_temperatures();
+        let mt = machine.tick(config.tick, &demands, &temps);
+        for c in 0..num_cores {
+            die.set_core_power(c, mt.core_dynamic_w[c] + mt.core_static_w[c]);
+        }
+        die.advance(config.tick);
+        time += config.tick;
+
+        // Distribute progress back to each application.
+        for (i, exec) in execs.iter_mut().enumerate() {
+            if exec.is_complete() {
+                continue;
+            }
+            let slice = &mt.exec_giga_cycles[offsets[i]..offsets[i + 1]];
+            exec.advance(slice, time);
+            if exec.is_complete() {
+                running -= 1;
+                pending_mix_change = true;
+            }
+        }
+
+        metrics_timer += config.tick;
+        if metrics_timer + 1e-12 >= config.metrics_interval {
+            metrics_timer -= config.metrics_interval;
+            let readings = metrics_sensors.read_all(&die.core_temperatures());
+            for (p, &r) in profiles.iter_mut().zip(&readings) {
+                p.push(r);
+            }
+        }
+
+        sample_timer += config.tick;
+        if sample_timer + 1e-12 >= sampling_interval {
+            sample_timer -= sampling_interval;
+            samples += 1;
+            machine.charge_sample_overhead();
+            let readings = controller_sensors.read_all(&die.core_temperatures());
+            let freqs: Vec<f64> = (0..num_cores).map(|c| machine.frequency(c)).collect();
+            // Worst relative performance across running apps.
+            let rel_perf = execs
+                .iter()
+                .filter(|e| !e.is_complete())
+                .map(|e| {
+                    let pc = e.model().perf_constraint_fps;
+                    if pc > 0.0 {
+                        e.windowed_fps(time, config.fps_window) / pc
+                    } else {
+                        1.0
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            let rel_perf = if rel_perf.is_finite() { rel_perf } else { 1.0 };
+            let obs = Observation {
+                time,
+                sensor_temps: &readings,
+                fps: rel_perf,
+                perf_constraint: 1.0,
+                app_name: &mixed_name,
+                app_index: 0,
+                app_switched: std::mem::take(&mut pending_mix_change),
+                counters: machine.counters(),
+                core_freq_ghz: &freqs,
+            };
+            if let Some(act) = controller.on_sample(&obs) {
+                decisions += 1;
+                machine.charge_decision_overhead();
+                if let Some(assignment) = &act.assignment {
+                    machine.apply_assignment(assignment);
+                }
+                if let Some(gov) = act.governor {
+                    machine.set_governor_all(gov);
+                }
+                if let Some(per_core) = &act.per_core_governors {
+                    for (core, &g) in per_core.iter().enumerate().take(num_cores) {
+                        machine.set_governor(core, g);
+                    }
+                }
+            }
+        }
+    }
+
+    let app_results = apps
+        .iter()
+        .zip(&execs)
+        .map(|(app, exec)| AppResult {
+            name: app.name.clone(),
+            dataset: app.dataset.clone(),
+            start_time: 0.0,
+            finish_time: exec.finish_time(),
+            frames_completed: exec.frames_completed(),
+            total_frames: app.total_frames,
+        })
+        .collect();
+
+    RunOutcome {
+        scenario_name: mixed_name,
+        controller_name: controller.name().to_string(),
+        sensor_profiles: profiles,
+        app_results,
+        total_time: time,
+        completed,
+        dynamic_energy_j: machine.energy().dynamic_energy(),
+        static_energy_j: machine.energy().static_energy(),
+        avg_dynamic_power_w: machine.energy().average_dynamic_power(),
+        avg_static_power_w: machine.energy().average_static_power(),
+        counters: machine.counters(),
+        migrations: machine.scheduler().total_migrations(),
+        samples,
+        decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::NullController;
+    use thermorl_workload::AppModel;
+
+    fn small(name: &str, threads: usize, frames: usize) -> AppModel {
+        AppModel::builder(name)
+            .threads(threads)
+            .frames(frames)
+            .parallel_gcycles(0.4)
+            .serial_gcycles(0.1)
+            .perf_constraint_fps(0.1)
+            .build()
+            .expect("valid model")
+    }
+
+    fn quick(cap: f64) -> SimConfig {
+        SimConfig {
+            max_sim_time: cap,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_apps_complete_concurrently() {
+        let apps = [small("a", 3, 30), small("b", 3, 30)];
+        let out = run_concurrent(
+            &apps,
+            Box::new(NullController::default()),
+            &quick(600.0),
+            1,
+        );
+        assert!(out.completed);
+        assert_eq!(out.app_results.len(), 2);
+        for r in &out.app_results {
+            assert!(r.finish_time.is_some());
+            assert_eq!(r.frames_completed, 30);
+        }
+        assert_eq!(out.scenario_name, "a+b");
+    }
+
+    #[test]
+    fn concurrent_is_slower_than_alone() {
+        let alone = crate::run_app(
+            &small("a", 3, 60),
+            Box::new(NullController::default()),
+            &quick(600.0),
+            1,
+        );
+        let shared = run_concurrent(
+            &[small("a", 3, 60), small("b", 3, 60)],
+            Box::new(NullController::default()),
+            &quick(1200.0),
+            1,
+        );
+        let t_alone = alone.app_results[0].execution_time().expect("finished");
+        let t_shared = shared.app_results[0].execution_time().expect("finished");
+        assert!(
+            t_shared > t_alone * 1.2,
+            "sharing the machine must slow app a: {t_alone} vs {t_shared}"
+        );
+    }
+
+    #[test]
+    fn mix_change_signal_fires_when_an_app_finishes() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+
+        struct MixSpy {
+            flags: Arc<AtomicU32>,
+        }
+        impl ThermalController for MixSpy {
+            fn name(&self) -> &str {
+                "mix-spy"
+            }
+            fn on_sample(&mut self, obs: &Observation<'_>) -> Option<crate::Actuation> {
+                if obs.app_switched {
+                    self.flags.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+        let flags = Arc::new(AtomicU32::new(0));
+        // App b is much longer than app a.
+        let apps = [small("a", 3, 10), small("b", 3, 200)];
+        let out = run_concurrent(
+            &apps,
+            Box::new(MixSpy { flags: flags.clone() }),
+            &quick(1200.0),
+            1,
+        );
+        assert!(out.completed);
+        assert!(flags.load(Ordering::Relaxed) >= 1, "mix change must be signalled");
+    }
+
+    #[test]
+    fn observation_reports_worst_relative_performance() {
+        // With perf_constraint 0 on one app, rel perf falls back sanely.
+        let mut a = small("a", 2, 20);
+        a.perf_constraint_fps = 0.0;
+        let out = run_concurrent(
+            &[a, small("b", 2, 20)],
+            Box::new(NullController::default()),
+            &quick(600.0),
+            2,
+        );
+        assert!(out.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_app_list_rejected() {
+        let _ = run_concurrent(
+            &[],
+            Box::new(NullController::default()),
+            &SimConfig::default(),
+            1,
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal dense linear algebra: square matrices with LU decomposition.
+//!
+//! The paper's related-work section notes that RC-equivalent thermal models
+//! are "difficult to solve using direct mathematical techniques such as LU
+//! decomposition" at scale; our compact networks are small (a handful of
+//! nodes per core), so a straightforward partially-pivoted LU is both exact
+//! and fast, and is used to obtain analytic steady states that validate the
+//! explicit integrators.
+
+use std::fmt;
+
+/// A dense, row-major square matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use thermorl_thermal::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+/// let x = a.solve(&[2.0, 8.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned when a linear solve fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (a pivot underflowed) at the given column.
+    Singular {
+        /// Column index where elimination broke down.
+        column: usize,
+    },
+    /// The right-hand side length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Matrix dimension.
+        expected: usize,
+        /// Supplied right-hand side length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+            SolveError::DimensionMismatch { expected, actual } => {
+                write!(f, "rhs has length {actual}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl Matrix {
+    /// Creates an `n`×`n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Creates an identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all of length `rows.len()`.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let n = rows.len();
+        let mut m = Matrix::zeros(n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has wrong length");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension (number of rows = columns).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Multiplies `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Solves `self * x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] if a pivot is (numerically) zero and
+    /// [`SolveError::DimensionMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if b.len() != self.n {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.n,
+                actual: b.len(),
+            });
+        }
+        let lu = self.lu()?;
+        Ok(lu.solve(b))
+    }
+
+    /// Computes the partially pivoted LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] when elimination encounters a zero
+    /// pivot.
+    pub fn lu(&self) -> Result<Lu, SolveError> {
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: find the largest magnitude entry in column k.
+            let mut p = k;
+            let mut max = a[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = a[i * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                return Err(SolveError::Singular { column: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    a.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for i in (k + 1)..n {
+                let factor = a[i * n + k] / pivot;
+                a[i * n + k] = factor; // store L below the diagonal
+                for j in (k + 1)..n {
+                    a[i * n + j] -= factor * a[k * n + j];
+                }
+            }
+        }
+        Ok(Lu { n, lu: a, perm })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// A computed LU decomposition that can solve repeatedly against new
+/// right-hand sides (used for steady-state thermal solves at each power
+/// assignment without refactorising).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the decomposed dimension.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * y[j];
+            }
+            y[i] = acc / self.lu[i * n + i];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.25];
+        assert_close(&a.solve(&b).unwrap(), &b, 1e-14);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert_close(&x, &[7.0, 3.0], 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SolveError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let a = Matrix::identity(3);
+        assert_eq!(
+            a.solve(&[1.0]),
+            Err(SolveError::DimensionMismatch {
+                expected: 3,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn solve_matches_mul_vec_roundtrip() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -1.0, 0.5, 0.0],
+            &[-1.0, 5.0, -1.0, 0.2],
+            &[0.5, -1.0, 6.0, -2.0],
+            &[0.0, 0.2, -2.0, 3.0],
+        ]);
+        let x_true = [1.0, -2.0, 0.5, 4.0];
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn lu_reuse_across_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let lu = a.lu().unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [5.0, -3.0]] {
+            let x = lu.solve(&b);
+            assert_close(&a.mul_vec(&x), &b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let s = SolveError::Singular { column: 2 }.to_string();
+        assert!(s.contains("column 2"));
+        let d = SolveError::DimensionMismatch {
+            expected: 3,
+            actual: 1,
+        }
+        .to_string();
+        assert!(d.contains("expected 3"));
+    }
+}

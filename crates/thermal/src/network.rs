@@ -1,0 +1,497 @@
+//! General lumped RC thermal networks.
+//!
+//! A network is a set of thermal nodes, each with a heat capacitance, linked
+//! by thermal conductances to each other and (optionally) to the ambient.
+//! Temperatures evolve as
+//!
+//! ```text
+//! C_i dT_i/dt = P_i - g_amb_i (T_i - T_amb) - Σ_j g_ij (T_i - T_j)
+//! ```
+//!
+//! which is exactly the HotSpot-style compact model the DAC'14 paper's
+//! related work builds on. The network supports explicit integration (see
+//! [`crate::stepper`]) and an analytic steady state through LU decomposition.
+
+use crate::linalg::{Matrix, SolveError};
+use crate::stepper::Stepper;
+
+/// Identifier of a node inside an [`RcNetwork`].
+///
+/// Node ids are dense indices handed out by [`RcNetworkBuilder::add_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Builder for [`RcNetwork`].
+///
+/// # Example
+///
+/// ```
+/// use thermorl_thermal::{RcNetworkBuilder, Stepper};
+///
+/// let mut b = RcNetworkBuilder::new(25.0);
+/// let a = b.add_node("core", 10.0);
+/// let s = b.add_node("sink", 100.0);
+/// b.connect(a, s, 2.0); // 2 W/K between core and sink
+/// b.connect_ambient(s, 1.0); // sink leaks to ambient
+/// let mut net = b.build().unwrap();
+/// net.set_power(a, 10.0);
+/// net.advance(1200.0, 0.05, Stepper::ForwardEuler);
+/// // Steady state: sink = 25 + 10/1 = 35, core = 35 + 10/2 = 40.
+/// assert!((net.temperature(a) - 40.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RcNetworkBuilder {
+    names: Vec<String>,
+    capacitance: Vec<f64>,
+    edges: Vec<(usize, usize, f64)>,
+    ambient_conductance: Vec<f64>,
+    ambient: f64,
+}
+
+impl RcNetworkBuilder {
+    /// Creates a builder with the given ambient temperature (°C).
+    pub fn new(ambient_c: f64) -> Self {
+        RcNetworkBuilder {
+            ambient: ambient_c,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a node with heat capacitance `capacitance_j_per_k` (J/K) and
+    /// returns its id. Initial temperature is ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is not strictly positive.
+    pub fn add_node(&mut self, name: impl Into<String>, capacitance_j_per_k: f64) -> NodeId {
+        assert!(
+            capacitance_j_per_k > 0.0,
+            "node capacitance must be positive"
+        );
+        self.names.push(name.into());
+        self.capacitance.push(capacitance_j_per_k);
+        self.ambient_conductance.push(0.0);
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Connects two nodes with a thermal conductance (W/K). Conductances
+    /// accumulate if called repeatedly for the same pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or the conductance is negative.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, conductance_w_per_k: f64) {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(conductance_w_per_k >= 0.0, "conductance must be >= 0");
+        self.edges.push((a.0, b.0, conductance_w_per_k));
+    }
+
+    /// Connects a node to the ambient with the given conductance (W/K).
+    pub fn connect_ambient(&mut self, n: NodeId, conductance_w_per_k: f64) {
+        assert!(conductance_w_per_k >= 0.0, "conductance must be >= 0");
+        self.ambient_conductance[n.0] += conductance_w_per_k;
+    }
+
+    /// Finalises the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NoNodes`] for an empty network and
+    /// [`BuildError::Floating`] when some node has no path (direct or
+    /// indirect) to the ambient — such a node would heat without bound.
+    pub fn build(self) -> Result<RcNetwork, BuildError> {
+        let n = self.names.len();
+        if n == 0 {
+            return Err(BuildError::NoNodes);
+        }
+        let mut g = Matrix::zeros(n);
+        for &(a, b, c) in &self.edges {
+            g[(a, b)] += c;
+            g[(b, a)] += c;
+        }
+        // Reachability from ambient-connected nodes through positive edges.
+        let mut reached = vec![false; n];
+        let mut stack: Vec<usize> = (0..n)
+            .filter(|&i| self.ambient_conductance[i] > 0.0)
+            .collect();
+        for &s in &stack {
+            reached[s] = true;
+        }
+        while let Some(i) = stack.pop() {
+            for j in 0..n {
+                if !reached[j] && g[(i, j)] > 0.0 {
+                    reached[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        if let Some(idx) = reached.iter().position(|&r| !r) {
+            return Err(BuildError::Floating {
+                node: self.names[idx].clone(),
+            });
+        }
+        let temperature = vec![self.ambient; n];
+        Ok(RcNetwork {
+            names: self.names,
+            capacitance: self.capacitance,
+            conductance: g,
+            ambient_conductance: self.ambient_conductance,
+            ambient: self.ambient,
+            temperature,
+            power: vec![0.0; n],
+        })
+    }
+}
+
+/// Error building an [`RcNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The builder contained no nodes.
+    NoNodes,
+    /// A node has no conductive path to ambient.
+    Floating {
+        /// Name of the offending node.
+        node: String,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoNodes => write!(f, "network has no nodes"),
+            BuildError::Floating { node } => {
+                write!(f, "node `{node}` has no path to ambient")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A lumped RC thermal network with per-node power injection.
+#[derive(Debug, Clone)]
+pub struct RcNetwork {
+    names: Vec<String>,
+    capacitance: Vec<f64>,
+    conductance: Matrix,
+    ambient_conductance: Vec<f64>,
+    ambient: f64,
+    temperature: Vec<f64>,
+    power: Vec<f64>,
+}
+
+impl RcNetwork {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the network has no nodes (never true for built networks).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a node.
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Ambient temperature (°C).
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+
+    /// Sets the ambient temperature (°C); takes effect on the next step.
+    pub fn set_ambient(&mut self, ambient_c: f64) {
+        self.ambient = ambient_c;
+    }
+
+    /// Current temperature of a node (°C).
+    pub fn temperature(&self, n: NodeId) -> f64 {
+        self.temperature[n.0]
+    }
+
+    /// All node temperatures, indexed by [`NodeId::index`].
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperature
+    }
+
+    /// Overrides all node temperatures (e.g. to start from a steady state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps.len() != self.len()`.
+    pub fn set_temperatures(&mut self, temps: &[f64]) {
+        assert_eq!(temps.len(), self.temperature.len());
+        self.temperature.copy_from_slice(temps);
+    }
+
+    /// Sets the power (W) injected into a node.
+    pub fn set_power(&mut self, n: NodeId, watts: f64) {
+        self.power[n.0] = watts;
+    }
+
+    /// Power currently injected into a node (W).
+    pub fn power(&self, n: NodeId) -> f64 {
+        self.power[n.0]
+    }
+
+    /// Computes the time derivative of all node temperatures (K/s) into
+    /// `out` given the temperatures in `t`.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
+    fn derivative(&self, t: &[f64], out: &mut [f64]) {
+        let n = self.len();
+        for i in 0..n {
+            let mut q = self.power[i] - self.ambient_conductance[i] * (t[i] - self.ambient);
+            for j in 0..n {
+                let g = self.conductance[(i, j)];
+                if g != 0.0 {
+                    q -= g * (t[i] - t[j]);
+                }
+            }
+            out[i] = q / self.capacitance[i];
+        }
+    }
+
+    /// Advances the network by a single explicit step of `dt` seconds.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
+    pub fn step(&mut self, dt: f64, stepper: Stepper) {
+        let n = self.len();
+        match stepper {
+            Stepper::ForwardEuler => {
+                let mut d = vec![0.0; n];
+                self.derivative(&self.temperature.clone(), &mut d);
+                for i in 0..n {
+                    self.temperature[i] += dt * d[i];
+                }
+            }
+            Stepper::Rk4 => {
+                let t0 = self.temperature.clone();
+                let mut k1 = vec![0.0; n];
+                let mut k2 = vec![0.0; n];
+                let mut k3 = vec![0.0; n];
+                let mut k4 = vec![0.0; n];
+                let mut tmp = vec![0.0; n];
+                self.derivative(&t0, &mut k1);
+                for i in 0..n {
+                    tmp[i] = t0[i] + 0.5 * dt * k1[i];
+                }
+                self.derivative(&tmp, &mut k2);
+                for i in 0..n {
+                    tmp[i] = t0[i] + 0.5 * dt * k2[i];
+                }
+                self.derivative(&tmp, &mut k3);
+                for i in 0..n {
+                    tmp[i] = t0[i] + dt * k3[i];
+                }
+                self.derivative(&tmp, &mut k4);
+                for i in 0..n {
+                    self.temperature[i] =
+                        t0[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                }
+            }
+        }
+    }
+
+    /// Advances by `duration` seconds using fixed sub-steps of `dt`.
+    ///
+    /// The final partial step (if `duration` is not a multiple of `dt`) is
+    /// taken with the remaining time, so the advance is exact in total time.
+    pub fn advance(&mut self, duration: f64, dt: f64, stepper: Stepper) {
+        let mut remaining = duration;
+        while remaining > 1e-12 {
+            let h = remaining.min(dt);
+            self.step(h, stepper);
+            remaining -= h;
+        }
+    }
+
+    /// Largest forward-Euler step that keeps integration stable, from the
+    /// Gershgorin bound on the system's eigenvalues: `dt < 2 / max_i (Σg/C)`.
+    pub fn max_stable_dt(&self) -> f64 {
+        let n = self.len();
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            let mut g_total = self.ambient_conductance[i];
+            for j in 0..n {
+                g_total += self.conductance[(i, j)];
+            }
+            worst = worst.max(g_total / self.capacitance[i]);
+        }
+        if worst == 0.0 {
+            f64::INFINITY
+        } else {
+            2.0 / worst
+        }
+    }
+
+    /// Analytic steady-state temperatures for the current power vector,
+    /// obtained by solving `G T = P + g_amb T_amb` with LU decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the conductance matrix is singular, which cannot
+    /// happen for networks built through [`RcNetworkBuilder`] (every node is
+    /// grounded to ambient).
+    pub fn steady_state(&self) -> Result<Vec<f64>, SolveError> {
+        let n = self.len();
+        let mut a = Matrix::zeros(n);
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            let mut diag = self.ambient_conductance[i];
+            for j in 0..n {
+                let g = self.conductance[(i, j)];
+                if g != 0.0 {
+                    diag += g;
+                    a[(i, j)] -= g;
+                }
+            }
+            a[(i, i)] += diag;
+            b[i] = self.power[i] + self.ambient_conductance[i] * self.ambient;
+        }
+        a.solve(&b)
+    }
+
+    /// Jumps the network straight to its steady state for the current powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the steady-state solve fails (impossible for built
+    /// networks; see [`RcNetwork::steady_state`]).
+    pub fn settle(&mut self) {
+        let t = self
+            .steady_state()
+            .expect("built networks always have a grounded, non-singular G");
+        self.temperature = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> RcNetwork {
+        let mut b = RcNetworkBuilder::new(20.0);
+        let core = b.add_node("core", 5.0);
+        let sink = b.add_node("sink", 50.0);
+        b.connect(core, sink, 2.0);
+        b.connect_ambient(sink, 1.0);
+        let mut net = b.build().unwrap();
+        net.set_power(core, 10.0);
+        net
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(RcNetworkBuilder::new(20.0).build().unwrap_err(), BuildError::NoNodes);
+    }
+
+    #[test]
+    fn build_rejects_floating_node() {
+        let mut b = RcNetworkBuilder::new(20.0);
+        let a = b.add_node("a", 1.0);
+        b.add_node("orphan", 1.0);
+        b.connect_ambient(a, 1.0);
+        match b.build() {
+            Err(BuildError::Floating { node }) => assert_eq!(node, "orphan"),
+            other => panic!("expected floating error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steady_state_matches_hand_computation() {
+        let net = two_node();
+        let t = net.steady_state().unwrap();
+        // Sink: 20 + 10/1 = 30; core: 30 + 10/2 = 35.
+        assert!((t[1] - 30.0).abs() < 1e-9, "{t:?}");
+        assert!((t[0] - 35.0).abs() < 1e-9, "{t:?}");
+    }
+
+    #[test]
+    fn euler_converges_to_steady_state() {
+        let mut net = two_node();
+        net.advance(500.0, 0.05, Stepper::ForwardEuler);
+        let ss = net.steady_state().unwrap();
+        for (a, b) in net.temperatures().iter().zip(&ss) {
+            assert!((a - b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn rk4_converges_to_steady_state() {
+        let mut net = two_node();
+        net.advance(500.0, 0.25, Stepper::Rk4);
+        let ss = net.steady_state().unwrap();
+        for (a, b) in net.temperatures().iter().zip(&ss) {
+            assert!((a - b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn settle_jumps_to_steady_state() {
+        let mut net = two_node();
+        net.settle();
+        assert!((net.temperature(NodeId(0)) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_stable_dt_guards_euler() {
+        let net = two_node();
+        let dt = net.max_stable_dt();
+        // Core node: (2.0)/5.0 = 0.4; sink: 3/50 = 0.06 → dt = 2/0.4 = 5 s.
+        assert!((dt - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cooling_is_monotone_without_power() {
+        let mut net = two_node();
+        net.set_power(NodeId(0), 0.0);
+        net.set_temperatures(&[80.0, 60.0]);
+        let mut prev = net.temperature(NodeId(0));
+        for _ in 0..100 {
+            net.step(0.05, Stepper::ForwardEuler);
+            let now = net.temperature(NodeId(0));
+            assert!(now <= prev + 1e-12);
+            prev = now;
+        }
+        assert!(prev > net.ambient() - 1e-9);
+    }
+
+    #[test]
+    fn more_power_means_hotter_everywhere() {
+        let mut lo = two_node();
+        let mut hi = two_node();
+        hi.set_power(NodeId(0), 20.0);
+        lo.advance(50.0, 0.05, Stepper::ForwardEuler);
+        hi.advance(50.0, 0.05, Stepper::ForwardEuler);
+        for i in 0..lo.len() {
+            assert!(hi.temperatures()[i] > lo.temperatures()[i]);
+        }
+    }
+
+    #[test]
+    fn ambient_change_shifts_steady_state() {
+        let mut net = two_node();
+        net.set_ambient(30.0);
+        let t = net.steady_state().unwrap();
+        assert!((t[0] - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_handles_partial_final_step() {
+        let mut a = two_node();
+        let mut b = two_node();
+        a.advance(1.0, 0.3, Stepper::Rk4); // 0.3+0.3+0.3+0.1
+        b.advance(0.5, 0.3, Stepper::Rk4);
+        b.advance(0.5, 0.3, Stepper::Rk4);
+        // Not bit-identical (different step splits) but physically close.
+        assert!((a.temperature(NodeId(0)) - b.temperature(NodeId(0))).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Explicit time integrators for RC networks.
+
+use serde::{Deserialize, Serialize};
+
+/// Explicit integration scheme for [`crate::RcNetwork::step`].
+///
+/// Forward Euler is the default used by the co-simulation (the networks are
+/// tiny and the simulation step of 10 ms is far below the stability bound);
+/// RK4 is available for accuracy checks and larger steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Stepper {
+    /// First-order explicit Euler: cheap, stable for `dt < max_stable_dt`.
+    #[default]
+    ForwardEuler,
+    /// Classic fourth-order Runge–Kutta.
+    Rk4,
+}
+
+impl std::fmt::Display for Stepper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stepper::ForwardEuler => write!(f, "forward-euler"),
+            Stepper::Rk4 => write!(f, "rk4"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_euler() {
+        assert_eq!(Stepper::default(), Stepper::ForwardEuler);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Stepper::ForwardEuler.to_string(), "forward-euler");
+        assert_eq!(Stepper::Rk4.to_string(), "rk4");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the thermal substrate.
+
+use proptest::prelude::*;
+use thermorl_thermal::{DieModel, DieParams, Floorplan, Stepper};
+
+fn die_with_powers(powers: &[f64]) -> DieModel {
+    let mut die = DieModel::quad_core();
+    for (c, &p) in powers.iter().enumerate() {
+        die.set_core_power(c, p);
+    }
+    die
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Steady-state temperatures always sit at or above ambient when power
+    /// injection is non-negative.
+    #[test]
+    fn steady_state_above_ambient(p in proptest::collection::vec(0.0f64..25.0, 4)) {
+        let mut die = die_with_powers(&p);
+        die.settle();
+        for t in die.core_temperatures() {
+            prop_assert!(t >= die.params().ambient - 1e-9);
+        }
+    }
+
+    /// Monotonicity: raising the power of one core cannot cool any node.
+    #[test]
+    fn power_monotonicity(
+        p in proptest::collection::vec(0.0f64..20.0, 4),
+        core in 0usize..4,
+        extra in 0.1f64..10.0,
+    ) {
+        let mut lo = die_with_powers(&p);
+        let mut hi = die_with_powers(&p);
+        hi.set_core_power(core, p[core] + extra);
+        lo.settle();
+        hi.settle();
+        for (a, b) in lo.core_temperatures().iter().zip(hi.core_temperatures()) {
+            prop_assert!(b >= *a - 1e-9);
+        }
+    }
+
+    /// The loaded core is the hottest core in steady state.
+    #[test]
+    fn loaded_core_is_hottest(core in 0usize..4, load in 5.0f64..25.0) {
+        let mut p = vec![1.0; 4];
+        p[core] = load;
+        let mut die = die_with_powers(&p);
+        die.settle();
+        let temps = die.core_temperatures();
+        let hottest = temps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert_eq!(hottest, core);
+    }
+
+    /// Transient integration never overshoots the band spanned by the
+    /// initial state and the steady state (the RC system is non-oscillatory).
+    #[test]
+    fn transient_stays_bracketed(p in proptest::collection::vec(0.0f64..25.0, 4)) {
+        let mut die = die_with_powers(&p);
+        let start = die.core_temperatures();
+        let mut settled = die.clone();
+        settled.settle();
+        let end = settled.core_temperatures();
+        for _ in 0..200 {
+            die.advance(0.5);
+            for (c, t) in die.core_temperatures().into_iter().enumerate() {
+                let lo = start[c].min(end[c]) - 0.05;
+                let hi = start[c].max(end[c]) + 0.05;
+                prop_assert!(t >= lo && t <= hi, "core {} at {} outside [{}, {}]", c, t, lo, hi);
+            }
+        }
+    }
+
+    /// Euler and RK4 agree on slow transients.
+    #[test]
+    fn steppers_agree(p in proptest::collection::vec(0.0f64..20.0, 4)) {
+        let mut euler = die_with_powers(&p);
+        let mut rk = DieModel::new(
+            Floorplan::quad(),
+            DieParams { stepper: Stepper::Rk4, sim_dt: 0.05, ..DieParams::default() },
+        );
+        for (c, &w) in p.iter().enumerate() {
+            rk.set_core_power(c, w);
+        }
+        euler.advance(20.0);
+        rk.advance(20.0);
+        for (a, b) in euler.core_temperatures().iter().zip(rk.core_temperatures()) {
+            prop_assert!((a - b).abs() < 0.15, "{} vs {}", a, b);
+        }
+    }
+
+    /// Total steady-state heat flow to ambient equals injected power
+    /// (energy conservation): T_sink - T_amb = P_total * R_sink.
+    #[test]
+    fn steady_state_energy_balance(p in proptest::collection::vec(0.0f64..25.0, 4)) {
+        let mut die = die_with_powers(&p);
+        die.settle();
+        let total: f64 = p.iter().sum();
+        let expected_sink = die.params().ambient + total * die.params().sink_to_ambient;
+        prop_assert!((die.sink_temperature() - expected_sink).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,55 @@
+//! Multi-threaded multimedia workload models (ALPBench-like).
+//!
+//! The DAC'14 evaluation runs five ALPBench benchmarks — `mpeg_enc`,
+//! `mpeg_dec`, `face_rec`, `sphinx` and `tachyon` — with six threads on a
+//! quad-core. The thermal signature the learning agent exploits comes from
+//! each application's *phase structure* (§3 of the paper): threads
+//! alternate between **independent high-activity compute bursts** and
+//! **inter-thread dependent low-activity cycles** (barriers / serial
+//! sections), with per-application burst/dependency ratios:
+//!
+//! * `face_rec` — long independent bursts, short dependent phases,
+//! * `mpeg enc/dec` — short bursts, relatively long dependent phases,
+//! * `tachyon` — sustained heavy compute (one long burst per image),
+//! * `sphinx` — moderate, memory-heavy.
+//!
+//! [`AppModel`] captures that structure as a fork-join frame loop,
+//! [`AppExecution`] executes it against per-thread progress supplied by the
+//! platform, [`alpbench`] provides calibrated presets with three input
+//! datasets each, and [`Scenario`] chains applications back-to-back for the
+//! paper's inter-application experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use thermorl_workload::{alpbench, AppExecution, DataSet};
+//!
+//! let model = alpbench::mpeg_dec(DataSet::One);
+//! let mut exec = AppExecution::new(model, 7);
+//! // Execute: all threads make progress every tick.
+//! let mut now = 0.0;
+//! while !exec.is_complete() && now < 10_000.0 {
+//!     let needs = exec.thread_needs();
+//!     let progress: Vec<f64> = needs
+//!         .iter()
+//!         .map(|n| if n.runnable { 0.02 } else { 0.0 })
+//!         .collect();
+//!     now += 0.01;
+//!     exec.advance(&progress, now);
+//! }
+//! assert!(exec.is_complete());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod alpbench;
+pub mod app;
+pub mod exec;
+pub mod scenario;
+pub mod synthetic;
+
+pub use alpbench::DataSet;
+pub use app::{AppModel, AppModelBuilder, SyncModel, WorkModulation};
+pub use exec::{AppExecution, ThreadNeed};
+pub use scenario::Scenario;
+pub use synthetic::{SyntheticGenerator, SyntheticSpace};

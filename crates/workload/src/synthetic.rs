@@ -1,0 +1,204 @@
+//! Seeded random workload generation for fuzzing, stress tests and
+//! benchmarking beyond the five ALPBench presets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::{AppModel, SyncModel};
+
+/// Parameter envelope for generated applications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpace {
+    /// Inclusive range of thread counts.
+    pub threads: (usize, usize),
+    /// Inclusive range of frame counts.
+    pub frames: (usize, usize),
+    /// Range of parallel giga-cycles per thread per frame.
+    pub parallel_gcycles: (f64, f64),
+    /// Range of serial giga-cycles per frame.
+    pub serial_gcycles: (f64, f64),
+    /// Range of parallel-phase activities.
+    pub activity: (f64, f64),
+    /// Maximum work-modulation amplitude (0 disables).
+    pub max_modulation: f64,
+    /// Whether to also generate work-queue apps.
+    pub allow_work_queue: bool,
+}
+
+impl Default for SyntheticSpace {
+    fn default() -> Self {
+        SyntheticSpace {
+            threads: (2, 8),
+            frames: (50, 400),
+            parallel_gcycles: (0.2, 5.0),
+            serial_gcycles: (0.0, 1.5),
+            activity: (0.3, 1.0),
+            max_modulation: 0.6,
+            allow_work_queue: true,
+        }
+    }
+}
+
+/// Deterministic generator of valid [`AppModel`]s.
+///
+/// # Example
+///
+/// ```
+/// use thermorl_workload::synthetic::SyntheticGenerator;
+///
+/// let mut g = SyntheticGenerator::new(7);
+/// let apps: Vec<_> = (0..5).map(|_| g.app()).collect();
+/// assert!(apps.iter().all(|a| a.validate().is_ok()));
+/// // Same seed, same apps.
+/// let mut g2 = SyntheticGenerator::new(7);
+/// assert_eq!(apps[0], g2.app());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    space: SyntheticSpace,
+    rng: StdRng,
+    counter: usize,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator over the default envelope.
+    pub fn new(seed: u64) -> Self {
+        SyntheticGenerator::with_space(SyntheticSpace::default(), seed)
+    }
+
+    /// Creates a generator over a custom envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is inverted or the thread minimum is zero.
+    pub fn with_space(space: SyntheticSpace, seed: u64) -> Self {
+        assert!(space.threads.0 >= 1 && space.threads.0 <= space.threads.1);
+        assert!(space.frames.0 >= 1 && space.frames.0 <= space.frames.1);
+        assert!(space.parallel_gcycles.0 <= space.parallel_gcycles.1);
+        assert!(space.serial_gcycles.0 <= space.serial_gcycles.1);
+        assert!(space.activity.0 <= space.activity.1);
+        SyntheticGenerator {
+            space,
+            rng: StdRng::seed_from_u64(seed ^ 0x5E17_7E71_C0DE_0001),
+            counter: 0,
+        }
+    }
+
+    fn range_f(&mut self, (lo, hi): (f64, f64)) -> f64 {
+        if hi > lo {
+            self.rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    }
+
+    /// Draws the next application.
+    pub fn app(&mut self) -> AppModel {
+        self.counter += 1;
+        let threads = self
+            .rng
+            .gen_range(self.space.threads.0..=self.space.threads.1);
+        let frames = self
+            .rng
+            .gen_range(self.space.frames.0..=self.space.frames.1);
+        let sync = if self.space.allow_work_queue && self.rng.gen_bool(0.35) {
+            SyncModel::WorkQueue
+        } else {
+            SyncModel::Barrier
+        };
+        let par = self.range_f(self.space.parallel_gcycles).max(0.01);
+        let ser = self.range_f(self.space.serial_gcycles);
+        let act = self.range_f(self.space.activity).clamp(0.05, 1.0);
+        let modulation = if self.space.max_modulation > 0.0 {
+            self.range_f((0.0, self.space.max_modulation))
+        } else {
+            0.0
+        };
+        let period = self.rng.gen_range(5..40);
+        AppModel::builder(format!("synthetic-{}", self.counter))
+            .threads(threads)
+            .frames(frames)
+            .parallel_gcycles(par)
+            .serial_gcycles(ser)
+            .activities(act, (act * 0.4).clamp(0.02, 1.0))
+            .mem_intensity(self.range_f((0.1, 0.9)))
+            .jitter(self.range_f((0.0, 0.25)))
+            .modulation(modulation, period)
+            .modulate_activity(self.rng.gen_bool(0.5))
+            .sync(sync)
+            .build()
+            .expect("generated parameters are within the valid envelope")
+    }
+
+    /// Draws `n` applications.
+    pub fn apps(&mut self, n: usize) -> Vec<AppModel> {
+        (0..n).map(|_| self.app()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_generated_apps_are_valid() {
+        let mut g = SyntheticGenerator::new(99);
+        for app in g.apps(200) {
+            assert!(app.validate().is_ok(), "{app:?}");
+            assert!(app.num_threads >= 2 && app.num_threads <= 8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<_> = SyntheticGenerator::new(5).apps(20);
+        let b: Vec<_> = SyntheticGenerator::new(5).apps(20);
+        assert_eq!(a, b);
+        let c: Vec<_> = SyntheticGenerator::new(6).apps(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generator_covers_both_sync_models() {
+        let mut g = SyntheticGenerator::new(1);
+        let apps = g.apps(100);
+        let queues = apps.iter().filter(|a| a.sync == SyncModel::WorkQueue).count();
+        assert!(queues > 10 && queues < 90, "{queues} work-queue apps");
+    }
+
+    #[test]
+    fn custom_space_is_respected() {
+        let space = SyntheticSpace {
+            threads: (4, 4),
+            frames: (10, 10),
+            allow_work_queue: false,
+            max_modulation: 0.0,
+            ..SyntheticSpace::default()
+        };
+        let mut g = SyntheticGenerator::with_space(space, 2);
+        for app in g.apps(30) {
+            assert_eq!(app.num_threads, 4);
+            assert_eq!(app.total_frames, 10);
+            assert_eq!(app.sync, SyncModel::Barrier);
+            assert_eq!(app.modulation.amplitude, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_rejected() {
+        let space = SyntheticSpace {
+            threads: (5, 2),
+            ..SyntheticSpace::default()
+        };
+        let _ = SyntheticGenerator::with_space(space, 1);
+    }
+
+    #[test]
+    fn names_are_unique_per_generator() {
+        let mut g = SyntheticGenerator::new(3);
+        let apps = g.apps(5);
+        let names: std::collections::HashSet<_> = apps.iter().map(|a| &a.name).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

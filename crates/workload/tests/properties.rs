@@ -1,0 +1,166 @@
+//! Property-based tests of the workload models.
+
+use proptest::prelude::*;
+
+use thermorl_workload::{AppExecution, AppModel, SyncModel};
+
+fn arb_model() -> impl Strategy<Value = AppModel> {
+    (
+        1usize..8,
+        1usize..50,
+        0.01f64..3.0,
+        0.0f64..1.0,
+        0.0f64..0.4,
+        prop_oneof![Just(SyncModel::Barrier), Just(SyncModel::WorkQueue)],
+        any::<bool>(),
+    )
+        .prop_map(|(threads, frames, par, ser, jitter, sync, act_mod)| {
+            AppModel::builder("prop")
+                .threads(threads)
+                .frames(frames)
+                .parallel_gcycles(par)
+                .serial_gcycles(ser)
+                .jitter(jitter)
+                .modulation(0.3, 7)
+                .modulate_activity(act_mod)
+                .sync(sync)
+                .build()
+                .expect("generated model is valid")
+        })
+}
+
+/// Drives an execution, granting every runnable thread `step` gigacycles
+/// per tick; returns ticks used.
+fn drive(exec: &mut AppExecution, step: f64, max_ticks: usize) -> usize {
+    for tick in 0..max_ticks {
+        if exec.is_complete() {
+            return tick;
+        }
+        let needs = exec.thread_needs();
+        let progress: Vec<f64> = needs
+            .iter()
+            .map(|n| if n.runnable { step } else { 0.0 })
+            .collect();
+        exec.advance(&progress, tick as f64 * 0.1);
+    }
+    max_ticks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every model completes all frames given enough progress, and frame
+    /// accounting is exact.
+    #[test]
+    fn all_models_run_to_completion(model in arb_model(), seed in 0u64..100) {
+        let frames = model.total_frames;
+        let mut exec = AppExecution::new(model, seed);
+        let ticks = drive(&mut exec, 0.5, 2_000_000);
+        prop_assert!(exec.is_complete(), "stuck after {} ticks", ticks);
+        prop_assert_eq!(exec.frames_completed(), frames);
+        prop_assert_eq!(exec.completion_times().len(), frames);
+        // Completion times are nondecreasing.
+        for w in exec.completion_times().windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// Activities reported to the platform always lie in (0, 1].
+    #[test]
+    fn activities_are_physical(model in arb_model(), seed in 0u64..100) {
+        let mut exec = AppExecution::new(model, seed);
+        for tick in 0..500 {
+            if exec.is_complete() {
+                break;
+            }
+            for need in exec.thread_needs() {
+                if need.runnable {
+                    prop_assert!(need.activity > 0.0 && need.activity <= 1.0);
+                } else {
+                    prop_assert_eq!(need.activity, 0.0);
+                }
+            }
+            let needs = exec.thread_needs();
+            let progress: Vec<f64> = needs
+                .iter()
+                .map(|n| if n.runnable { 0.3 } else { 0.0 })
+                .collect();
+            exec.advance(&progress, tick as f64 * 0.1);
+        }
+    }
+
+    /// Progress granted to blocked threads is ignored: an adversarial
+    /// driver cannot make the app skip work.
+    #[test]
+    fn blocked_threads_cannot_progress(model in arb_model(), seed in 0u64..100) {
+        let frames = model.total_frames;
+        let mut honest = AppExecution::new(model.clone(), seed);
+        let mut adversarial = AppExecution::new(model, seed);
+        let mut ticks_honest = 0usize;
+        for tick in 0..2_000_000 {
+            if honest.is_complete() {
+                ticks_honest = tick;
+                break;
+            }
+            let needs = honest.thread_needs();
+            let progress: Vec<f64> = needs
+                .iter()
+                .map(|n| if n.runnable { 0.5 } else { 0.0 })
+                .collect();
+            honest.advance(&progress, tick as f64 * 0.1);
+        }
+        // Adversarial driver grants progress to everyone every tick; the
+        // run cannot finish in fewer ticks than the honest one per frame
+        // (blocked threads gain nothing).
+        let n = honest.model().num_threads;
+        for tick in 0..ticks_honest + 10 {
+            if adversarial.is_complete() {
+                break;
+            }
+            adversarial.advance(&vec![0.5; n], tick as f64 * 0.1);
+        }
+        prop_assert!(adversarial.frames_completed() <= frames);
+    }
+
+    /// Doubling per-tick throughput never slows completion (tick counts
+    /// are monotone in speed).
+    #[test]
+    fn faster_execution_finishes_sooner(model in arb_model(), seed in 0u64..100) {
+        let mut slow = AppExecution::new(model.clone(), seed);
+        let mut fast = AppExecution::new(model, seed);
+        let t_slow = drive(&mut slow, 0.25, 2_000_000);
+        let t_fast = drive(&mut fast, 0.5, 2_000_000);
+        prop_assert!(fast.is_complete() && slow.is_complete());
+        prop_assert!(t_fast <= t_slow);
+    }
+
+    /// Restarting mid-run resets cleanly and the second run also
+    /// completes with full frame accounting.
+    #[test]
+    fn restart_is_clean(model in arb_model(), seed in 0u64..100) {
+        let frames = model.total_frames;
+        let mut exec = AppExecution::new(model, seed);
+        // Partially execute.
+        for tick in 0..50 {
+            if exec.is_complete() {
+                break;
+            }
+            let needs = exec.thread_needs();
+            let progress: Vec<f64> = needs
+                .iter()
+                .map(|n| if n.runnable { 0.2 } else { 0.0 })
+                .collect();
+            exec.advance(&progress, tick as f64 * 0.1);
+        }
+        exec.restart_at(100.0);
+        prop_assert_eq!(exec.frames_completed(), 0);
+        prop_assert!(!exec.is_complete() || frames == 0);
+        drive(&mut exec, 0.5, 2_000_000);
+        prop_assert!(exec.is_complete());
+        prop_assert_eq!(exec.frames_completed(), frames);
+        // All completion stamps are after the restart origin.
+        for &t in exec.completion_times() {
+            prop_assert!(t >= 0.0);
+        }
+    }
+}

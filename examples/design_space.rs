@@ -1,0 +1,53 @@
+//! A Figure-8-style design-space sweep through the public API: vary the
+//! Q-table's state and action dimensions and watch the learning-time /
+//! solution-quality trade-off the paper's §6.4 discusses.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use thermorl::control::{ActionSpace, StateSpace};
+use thermorl::platform::{assignment_presets, GovernorKind, OppTable};
+use thermorl::prelude::*;
+
+fn main() {
+    let mut app = alpbench::mpeg_dec(DataSet::One);
+    app.total_frames = 600; // trim the sweep's wall-clock time
+
+    let opps = OppTable::intel_quad();
+    let mappings = assignment_presets(app.num_threads, 4);
+    let governors = [
+        GovernorKind::Ondemand,
+        GovernorKind::Performance,
+        GovernorKind::Conservative,
+        GovernorKind::Userspace(4),
+        GovernorKind::Userspace(3),
+        GovernorKind::Userspace(2),
+    ];
+
+    println!(
+        "{:>7} {:>8} {:>10} {:>12} {:>12}",
+        "states", "actions", "epochs", "TC-MTTF(y)", "Age-MTTF(y)"
+    );
+    for (s_bins, a_bins) in [(2, 2), (4, 2), (4, 3)] {
+        for n_actions in [4usize, 8, 12] {
+            let mut cfg = ControlConfig::default();
+            cfg.state_space = StateSpace::new(s_bins, a_bins, 8.0, 8.0);
+            cfg.action_space =
+                Some(ActionSpace::cartesian(&mappings, &governors).truncated(n_actions));
+            cfg.opp_table = opps.clone();
+            let controller = DasDac14Controller::new(cfg, 42);
+            let outcome = run_app(&app, Box::new(controller), &SimConfig::default(), 42);
+            let r = outcome.reliability_summary();
+            println!(
+                "{:>7} {:>8} {:>10} {:>12.2} {:>12.2}",
+                s_bins * a_bins,
+                n_actions,
+                outcome.decisions,
+                r.mttf_cycling_years,
+                r.mttf_aging_years,
+            );
+        }
+    }
+    println!("\nbigger action menus buy MTTF; bigger tables cost learning time.");
+}

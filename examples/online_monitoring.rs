@@ -1,0 +1,80 @@
+//! Live lifetime monitoring: stream sensor samples into the O(1)
+//! [`OnlineAnalyzer`] while an application runs, printing running MTTF
+//! estimates — the measurement loop a production run-time system would
+//! use instead of re-analysing whole traces.
+//!
+//! ```text
+//! cargo run --release --example online_monitoring
+//! ```
+
+use thermorl::prelude::*;
+use thermorl::reliability::OnlineAnalyzer;
+use thermorl::sim::{Actuation, Observation, ThermalController};
+
+/// A pass-through controller that also feeds a per-core online analyzer.
+struct Monitor {
+    inner: DasDac14Controller,
+    per_core: Vec<OnlineAnalyzer>,
+    last_print: f64,
+}
+
+impl ThermalController for Monitor {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn sampling_interval(&self) -> f64 {
+        self.inner.sampling_interval()
+    }
+    fn on_start(&mut self, threads: usize, cores: usize) {
+        self.inner.on_start(threads, cores);
+        self.per_core = (0..cores)
+            .map(|_| OnlineAnalyzer::with_defaults(self.inner.sampling_interval()))
+            .collect();
+    }
+    fn on_sample(&mut self, obs: &Observation<'_>) -> Option<Actuation> {
+        for (analyzer, &t) in self.per_core.iter_mut().zip(obs.sensor_temps) {
+            analyzer.push(t);
+        }
+        if obs.time - self.last_print >= 120.0 {
+            self.last_print = obs.time;
+            let worst = self
+                .per_core
+                .iter()
+                .map(|a| a.stats())
+                .min_by(|a, b| {
+                    a.mttf_cycling_years
+                        .partial_cmp(&b.mttf_cycling_years)
+                        .expect("finite ordering")
+                })
+                .expect("at least one core");
+            println!(
+                "t={:6.0}s  avgT={:5.1}C  damage={:9.2e}  TC-MTTF={:8.2}y  Age-MTTF={:6.2}y",
+                obs.time,
+                worst.avg_temp_c,
+                worst.damage,
+                worst.mttf_cycling_years,
+                worst.mttf_aging_years
+            );
+        }
+        self.inner.on_sample(obs)
+    }
+}
+
+fn main() {
+    let app = alpbench::mpeg_enc(DataSet::One);
+    println!(
+        "live monitoring of {} under the proposed controller:\n",
+        app.name
+    );
+    let monitor = Monitor {
+        inner: DasDac14Controller::new(ControlConfig::default(), 42),
+        per_core: Vec::new(),
+        last_print: 0.0,
+    };
+    let outcome = run_app(&app, Box::new(monitor), &SimConfig::default(), 42);
+    let end = outcome.reliability_summary();
+    println!(
+        "\nfinal (batch) analysis: TC-MTTF {:.2} y, Age-MTTF {:.2} y over {:.0} s",
+        end.mttf_cycling_years, end.mttf_aging_years, outcome.total_time
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: run the proposed RL thermal controller on one benchmark
+//! and print the lifetime numbers the DAC'14 paper reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use thermorl::prelude::*;
+
+fn main() {
+    // The workload: the paper's MPEG-2 decoder, first input clip,
+    // six threads on a quad-core.
+    let app = alpbench::mpeg_dec(DataSet::One);
+    println!(
+        "workload: {} ({}) — {} frames, P_c = {:.2} fps",
+        app.name, app.dataset, app.total_frames, app.perf_constraint_fps
+    );
+
+    // The controller: Q-learning over (stress, aging) states with
+    // affinity + governor actions, all defaults from the paper.
+    let controller = DasDac14Controller::new(ControlConfig::default(), 42);
+
+    // The platform: quad-core die + Linux-like scheduler/governors.
+    let config = SimConfig::default();
+    let outcome = run_app(&app, Box::new(controller), &config, 42);
+
+    let report = outcome.reliability_summary();
+    println!("execution time : {:8.1} s", outcome.total_time);
+    println!("avg temperature: {:8.1} degC", outcome.avg_temperature());
+    println!("peak temperature:{:8.1} degC", outcome.peak_temperature());
+    println!("aging MTTF     : {:8.2} years", report.mttf_aging_years);
+    println!("cycling MTTF   : {:8.2} years", report.mttf_cycling_years);
+    println!("combined MTTF  : {:8.2} years", report.mttf_combined_years);
+    println!(
+        "dynamic energy : {:8.1} kJ (avg {:.1} W)",
+        outcome.dynamic_energy_j / 1e3,
+        outcome.avg_dynamic_power_w
+    );
+    println!(
+        "decisions      : {:8} ({} sensor samples)",
+        outcome.decisions, outcome.samples
+    );
+}

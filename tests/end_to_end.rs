@@ -1,0 +1,248 @@
+//! Cross-crate integration tests: the full thermal/platform/workload/
+//! controller stack behaving as the paper describes.
+
+use thermorl::baselines::{FixedPolicy, GeConfig, GeQiu2011Controller};
+use thermorl::control::DasDac14Controller;
+use thermorl::prelude::*;
+use thermorl::sim::NullController;
+use thermorl::workload::SyncModel;
+
+/// A fast cycling-heavy workload for controller tests (completes in a few
+/// hundred simulated seconds).
+fn cycling_app() -> AppModel {
+    AppModel::builder("cycler")
+        .threads(6)
+        .frames(400)
+        .parallel_gcycles(0.8)
+        .serial_gcycles(0.9)
+        .activities(0.55, 0.3)
+        .jitter(0.05)
+        .modulation(0.6, 12)
+        .modulate_activity(true)
+        .perf_constraint_fps(0.5)
+        .build()
+        .expect("valid model")
+}
+
+/// A fast hot workload.
+fn hot_app() -> AppModel {
+    AppModel::builder("heater")
+        .threads(6)
+        .frames(300)
+        .parallel_gcycles(8.0)
+        .serial_gcycles(0.2)
+        .activities(0.95, 0.3)
+        .jitter(0.03)
+        .sync(SyncModel::WorkQueue)
+        .perf_constraint_fps(0.10)
+        .build()
+        .expect("valid model")
+}
+
+#[test]
+fn linux_baseline_runs_all_benchmarks() {
+    // Truncated slices of every ALPBench preset complete without issue.
+    let config = SimConfig {
+        max_sim_time: 60.0,
+        ..SimConfig::default()
+    };
+    for app in alpbench::suite(DataSet::One) {
+        let out = run_app(&app, Box::new(NullController::default()), &config, 1);
+        assert!(out.total_time > 0.0, "{} did not run", app.name);
+        assert!(out.avg_temperature() > 25.0, "{} never warmed up", app.name);
+        assert!(out.dynamic_energy_j > 0.0);
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let out = run_app(
+            &cycling_app(),
+            Box::new(DasDac14Controller::new(ControlConfig::default(), 5)),
+            &SimConfig::default(),
+            5,
+        );
+        (
+            out.total_time.to_bits(),
+            out.dynamic_energy_j.to_bits(),
+            out.decisions,
+            out.migrations,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn proposed_beats_linux_on_cycling_workload() {
+    let config = SimConfig::default();
+    let linux = run_app(&cycling_app(), Box::new(NullController::default()), &config, 3);
+    let das = run_app(
+        &cycling_app(),
+        Box::new(DasDac14Controller::new(ControlConfig::default(), 3)),
+        &config,
+        3,
+    );
+    assert!(linux.completed && das.completed);
+    let l = linux.reliability_summary();
+    let d = das.reliability_summary();
+    assert!(
+        d.mttf_cycling_years > l.mttf_cycling_years,
+        "proposed {:.2} y should beat linux {:.2} y on cycling MTTF",
+        d.mttf_cycling_years,
+        l.mttf_cycling_years
+    );
+}
+
+#[test]
+fn proposed_cools_a_hot_workload() {
+    let config = SimConfig::default();
+    let linux = run_app(&hot_app(), Box::new(NullController::default()), &config, 3);
+    // Shorter decision epochs so learning converges within the run.
+    let cfg = ControlConfig {
+        epoch_samples: 4,
+        ..ControlConfig::default()
+    };
+    let das = run_app(
+        &hot_app(),
+        Box::new(DasDac14Controller::new(cfg, 3)),
+        &config,
+        3,
+    );
+    assert!(
+        das.avg_temperature() < linux.avg_temperature() - 3.0,
+        "proposed {:.1} degC vs linux {:.1} degC",
+        das.avg_temperature(),
+        linux.avg_temperature()
+    );
+    let l = linux.reliability_summary();
+    let d = das.reliability_summary();
+    assert!(d.mttf_aging_years > l.mttf_aging_years);
+}
+
+#[test]
+fn governor_policies_order_execution_time() {
+    let config = SimConfig::default();
+    let app = hot_app();
+    let t = |c: Box<dyn thermorl::sim::ThermalController>| {
+        let out = run_app(&app, c, &config, 2);
+        assert!(out.completed, "policy must finish");
+        out.total_time
+    };
+    let fast = t(Box::new(FixedPolicy::userspace("3.4", 5)));
+    let mid = t(Box::new(FixedPolicy::userspace("2.4", 2)));
+    let slow = t(Box::new(FixedPolicy::powersave()));
+    assert!(fast < mid && mid < slow, "{fast} < {mid} < {slow} violated");
+    // And the ratios follow the frequency ratios, coarsely.
+    assert!((slow / fast - 3.4 / 1.6).abs() < 0.5);
+}
+
+#[test]
+fn ge_controller_respects_its_thermal_target() {
+    let config = SimConfig::default();
+    let out = run_app(
+        &hot_app(),
+        Box::new(GeQiu2011Controller::new(GeConfig::default(), 4)),
+        &config,
+        4,
+    );
+    let linux = run_app(&hot_app(), Box::new(NullController::default()), &config, 4);
+    assert!(out.avg_temperature() < linux.avg_temperature());
+}
+
+#[test]
+fn scenario_switch_is_detected_autonomously() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use thermorl::sim::{Actuation, Observation, ThermalController};
+
+    struct Spy {
+        inner: DasDac14Controller,
+        inters: Arc<AtomicU64>,
+    }
+    impl ThermalController for Spy {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn sampling_interval(&self) -> f64 {
+            self.inner.sampling_interval()
+        }
+        fn on_start(&mut self, t: usize, c: usize) {
+            self.inner.on_start(t, c);
+        }
+        fn on_sample(&mut self, obs: &Observation<'_>) -> Option<Actuation> {
+            assert!(
+                !obs.app_switched || true,
+                "spy sees the flag but the inner agent must not need it"
+            );
+            let act = self.inner.on_sample(obs);
+            self.inters
+                .store(self.inner.inter_events(), Ordering::Relaxed);
+            act
+        }
+    }
+
+    // Cool cycler followed by a heater: a hard hazard jump.
+    let scenario = Scenario::new(vec![cycling_app(), hot_app()]);
+    let inters = Arc::new(AtomicU64::new(0));
+    let spy = Spy {
+        inner: DasDac14Controller::new(ControlConfig::default(), 8),
+        inters: inters.clone(),
+    };
+    let out = run_scenario(&scenario, Box::new(spy), &SimConfig::default(), 8);
+    assert!(out.completed);
+    assert!(
+        inters.load(Ordering::Relaxed) >= 1,
+        "the moving-average detector must flag the app switch"
+    );
+}
+
+#[test]
+fn user_assignment_changes_thread_placement_effects() {
+    // The motivational experiment's mechanism: a fixed assignment produces
+    // a different thermal outcome than the load balancer.
+    let config = SimConfig::default();
+    let app = alpbench::face_rec(DataSet::One);
+    let mut quick = config.clone();
+    quick.max_sim_time = 120.0;
+    let linux = run_app(&app, Box::new(NullController::default()), &quick, 5);
+    let fixed = run_app(&app, Box::new(FixedPolicy::user_assignment()), &quick, 5);
+    assert!(fixed.migrations < linux.migrations,
+        "pinning must reduce migrations: {} vs {}", fixed.migrations, linux.migrations);
+    // Outcomes differ measurably.
+    assert!((fixed.avg_temperature() - linux.avg_temperature()).abs() > 0.1);
+}
+
+#[test]
+fn energy_accounting_is_consistent() {
+    let out = run_app(
+        &cycling_app(),
+        Box::new(NullController::default()),
+        &SimConfig::default(),
+        6,
+    );
+    let implied_avg = out.dynamic_energy_j / out.total_time;
+    assert!(
+        (implied_avg - out.avg_dynamic_power_w).abs() < 0.5,
+        "energy/time {:.2} vs avg power {:.2}",
+        implied_avg,
+        out.avg_dynamic_power_w
+    );
+    assert!(out.static_energy_j > 0.0);
+}
+
+#[test]
+fn reliability_reports_cover_all_cores() {
+    let out = run_app(
+        &cycling_app(),
+        Box::new(NullController::default()),
+        &SimConfig::default(),
+        6,
+    );
+    let reports = out.reliability_reports();
+    assert_eq!(reports.len(), 4);
+    for r in &reports {
+        assert!(r.avg_temp_c > 25.0 && r.avg_temp_c < 90.0);
+        assert!(r.mttf_aging_years > 0.0);
+    }
+}

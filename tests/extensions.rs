@@ -1,0 +1,155 @@
+//! Integration tests of the §7 future-work extensions: concurrent
+//! applications and heterogeneous cores.
+
+use thermorl::control::DasDac14Controller;
+use thermorl::platform::{big_little_quad, CoreClass};
+use thermorl::prelude::*;
+use thermorl::sim::{run_concurrent, NullController};
+
+fn small_app(name: &str, frames: usize) -> AppModel {
+    AppModel::builder(name)
+        .threads(3)
+        .frames(frames)
+        .parallel_gcycles(0.5)
+        .serial_gcycles(0.1)
+        .perf_constraint_fps(0.1)
+        .build()
+        .expect("valid model")
+}
+
+#[test]
+fn concurrent_apps_share_and_complete() {
+    let apps = [small_app("a", 40), small_app("b", 40)];
+    let out = run_concurrent(
+        &apps,
+        Box::new(NullController::default()),
+        &SimConfig::default(),
+        1,
+    );
+    assert!(out.completed);
+    assert_eq!(out.app_results.len(), 2);
+    assert!(out.app_results.iter().all(|r| r.finish_time.is_some()));
+}
+
+#[test]
+fn proposed_controller_manages_concurrent_mix() {
+    let apps = [small_app("a", 150), small_app("b", 150)];
+    let out = run_concurrent(
+        &apps,
+        Box::new(DasDac14Controller::new(ControlConfig::default(), 3)),
+        &SimConfig::default(),
+        3,
+    );
+    assert!(out.completed);
+    assert!(out.decisions > 0);
+    let r = out.reliability_summary();
+    assert!(r.mttf_aging_years > 0.0 && r.mttf_cycling_years > 0.0);
+}
+
+#[test]
+fn concurrent_run_is_deterministic() {
+    let run = || {
+        let apps = [small_app("a", 60), small_app("b", 60)];
+        let out = run_concurrent(
+            &apps,
+            Box::new(NullController::default()),
+            &SimConfig::default(),
+            9,
+        );
+        (out.total_time.to_bits(), out.dynamic_energy_j.to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn big_little_machine_is_slower_but_cooler_when_packed_little() {
+    use thermorl::baselines::FixedPolicy;
+    use thermorl::platform::ThreadAssignment;
+
+    let mut app = small_app("hot", 60);
+    app.parallel_gcycles = 4.0;
+    app.activity_parallel = 0.95;
+
+    let mut hetero = SimConfig::default();
+    hetero.machine.core_classes = Some(big_little_quad());
+
+    // Pin everything on the two little cores vs the two big cores.
+    let on_little = FixedPolicy::new(
+        "little-only",
+        Some(ThreadAssignment::grouped(&[(vec![2, 3], 3)])),
+        None,
+    );
+    let on_big = FixedPolicy::new(
+        "big-only",
+        Some(ThreadAssignment::grouped(&[(vec![0, 1], 3)])),
+        None,
+    );
+    let little = run_app(&app, Box::new(on_little), &hetero, 2);
+    let big = run_app(&app, Box::new(on_big), &hetero, 2);
+    assert!(little.completed && big.completed);
+    assert!(
+        little.total_time > big.total_time * 1.3,
+        "little cores must be slower: {} vs {}",
+        little.total_time,
+        big.total_time
+    );
+    assert!(
+        little.peak_temperature() < big.peak_temperature() - 3.0,
+        "little cores must run cooler: {} vs {}",
+        little.peak_temperature(),
+        big.peak_temperature()
+    );
+}
+
+#[test]
+fn homogeneous_and_none_classes_agree() {
+    // Four explicit big cores == no classes at all.
+    let app = small_app("a", 40);
+    let mut explicit = SimConfig::default();
+    explicit.machine.core_classes = Some(vec![CoreClass::big(); 4]);
+    let a = run_app(&app, Box::new(NullController::default()), &explicit, 4);
+    let b = run_app(
+        &app,
+        Box::new(NullController::default()),
+        &SimConfig::default(),
+        4,
+    );
+    assert_eq!(a.total_time.to_bits(), b.total_time.to_bits());
+    assert_eq!(a.dynamic_energy_j.to_bits(), b.dynamic_energy_j.to_bits());
+}
+
+#[test]
+fn proposed_controller_runs_on_heterogeneous_machine() {
+    let mut app = small_app("hot", 200);
+    app.parallel_gcycles = 2.0;
+    let mut config = SimConfig::default();
+    config.machine.core_classes = Some(big_little_quad());
+    let out = run_app(
+        &app,
+        Box::new(DasDac14Controller::new(ControlConfig::default(), 5)),
+        &config,
+        5,
+    );
+    assert!(out.completed);
+    assert!(out.decisions > 0);
+}
+
+#[test]
+fn hetero_action_space_drives_per_core_governors() {
+    use thermorl::control::ActionSpace;
+    let mut app = small_app("hot", 150);
+    app.parallel_gcycles = 2.0;
+    let mut config = SimConfig::default();
+    config.machine.core_classes = Some(big_little_quad());
+    let mut cfg = ControlConfig::default();
+    cfg.action_space = Some(ActionSpace::hetero_default(
+        app.num_threads,
+        &big_little_quad(),
+        &cfg.opp_table,
+    ));
+    let out = run_app(&app, Box::new(DasDac14Controller::new(cfg, 6)), &config, 6);
+    assert!(out.completed);
+    assert!(out.decisions > 0);
+    let r = out.reliability_summary();
+    assert!(r.mttf_combined_years > 0.0);
+}

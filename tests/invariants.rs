@@ -1,0 +1,135 @@
+//! Property-based integration tests: the full stack stays physical under
+//! randomly generated workloads and controller behaviours.
+
+use proptest::prelude::*;
+
+use thermorl::prelude::*;
+use thermorl::sim::{Actuation, NullController, Observation, ThermalController};
+use thermorl::platform::GovernorKind;
+use thermorl::workload::SyncModel;
+
+fn arb_app() -> impl Strategy<Value = AppModel> {
+    (
+        2usize..8,              // threads
+        10usize..60,            // frames
+        0.2f64..4.0,            // parallel gcycles
+        0.0f64..1.5,            // serial gcycles
+        0.3f64..1.0,            // parallel activity
+        0.05f64..0.5,           // serial activity
+        0.0f64..0.3,            // jitter
+        prop_oneof![Just(SyncModel::Barrier), Just(SyncModel::WorkQueue)],
+    )
+        .prop_map(|(threads, frames, par, ser, ah, al, jitter, sync)| {
+            AppModel::builder("prop")
+                .threads(threads)
+                .frames(frames)
+                .parallel_gcycles(par)
+                .serial_gcycles(ser)
+                .activities(ah, al)
+                .jitter(jitter)
+                .sync(sync)
+                .build()
+                .expect("generated model is valid")
+        })
+}
+
+/// A controller that issues a random governor at every sample — an
+/// adversarial actuator for engine robustness.
+struct Chaos {
+    seq: u64,
+}
+
+impl ThermalController for Chaos {
+    fn name(&self) -> &str {
+        "chaos"
+    }
+    fn sampling_interval(&self) -> f64 {
+        2.0
+    }
+    fn on_sample(&mut self, _obs: &Observation<'_>) -> Option<Actuation> {
+        self.seq = self.seq.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let pick = (self.seq >> 33) % 6;
+        let governor = match pick {
+            0 => GovernorKind::Ondemand,
+            1 => GovernorKind::Conservative,
+            2 => GovernorKind::Performance,
+            3 => GovernorKind::Powersave,
+            n => GovernorKind::Userspace((n % 6) as usize),
+        };
+        Some(Actuation {
+            assignment: None,
+            governor: Some(governor),
+            per_core_governors: None,
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generated app completes under the Linux baseline, with sane
+    /// physics: temperatures bounded, energy positive, all frames done.
+    #[test]
+    fn random_apps_complete_sanely(app in arb_app(), seed in 0u64..1000) {
+        let config = SimConfig { max_sim_time: 3600.0, ..SimConfig::default() };
+        let out = run_app(&app, Box::new(NullController::default()), &config, seed);
+        prop_assert!(out.completed, "{} frames left", app.total_frames);
+        prop_assert_eq!(out.app_results[0].frames_completed, app.total_frames);
+        prop_assert!(out.avg_temperature() >= 20.0);
+        prop_assert!(out.peak_temperature() <= 100.0, "sensor saturates at 100");
+        prop_assert!(out.dynamic_energy_j >= 0.0);
+        prop_assert!(out.static_energy_j > 0.0);
+    }
+
+    /// A chaotic governor-flipping controller cannot break the engine or
+    /// physics, only change performance.
+    #[test]
+    fn chaos_controller_is_survivable(app in arb_app(), seed in 0u64..1000) {
+        let config = SimConfig { max_sim_time: 3600.0, ..SimConfig::default() };
+        let out = run_app(&app, Box::new(Chaos { seq: seed }), &config, seed);
+        prop_assert!(out.completed);
+        prop_assert!(out.peak_temperature() <= 100.0);
+        // Tiny apps can finish before the first 2 s sample fires.
+        if out.total_time > 5.0 {
+            prop_assert!(out.decisions > 0);
+        }
+    }
+
+    /// The proposed controller never violates engine invariants on random
+    /// workloads (short horizon to keep the suite fast).
+    #[test]
+    fn proposed_controller_is_robust(app in arb_app(), seed in 0u64..50) {
+        let config = SimConfig { max_sim_time: 600.0, ..SimConfig::default() };
+        let cfg = ControlConfig { epoch_samples: 4, ..ControlConfig::default() };
+        let out = run_app(
+            &app,
+            Box::new(DasDac14Controller::new(cfg, seed)),
+            &config,
+            seed,
+        );
+        prop_assert!(out.total_time > 0.0);
+        prop_assert!(out.samples >= out.decisions);
+        // Reliability analysis never panics or yields negative lifetimes.
+        for r in out.reliability_reports() {
+            prop_assert!(r.mttf_aging_years > 0.0);
+            prop_assert!(r.mttf_cycling_years > 0.0);
+            prop_assert!(r.stress >= 0.0);
+        }
+    }
+
+    /// Higher fixed frequency never slows an app down (monotone progress).
+    #[test]
+    fn frequency_monotonicity(app in arb_app(), seed in 0u64..100) {
+        use thermorl::baselines::FixedPolicy;
+        let config = SimConfig { max_sim_time: 3600.0, ..SimConfig::default() };
+        let slow = run_app(&app, Box::new(FixedPolicy::userspace("lo", 0)), &config, seed);
+        let fast = run_app(&app, Box::new(FixedPolicy::userspace("hi", 5)), &config, seed);
+        prop_assert!(slow.completed && fast.completed);
+        prop_assert!(
+            fast.total_time <= slow.total_time * 1.05,
+            "fast {} vs slow {}",
+            fast.total_time,
+            slow.total_time
+        );
+    }
+}

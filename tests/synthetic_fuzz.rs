@@ -1,0 +1,74 @@
+//! Fuzz-style integration sweep: the full stack survives a population of
+//! generated workloads under every policy class, deterministically.
+
+use thermorl::baselines::{GeConfig, GeQiu2011Controller};
+use thermorl::control::DasDac14Controller;
+use thermorl::prelude::*;
+use thermorl::sim::{NullController, ThermalController};
+use thermorl::workload::SyntheticGenerator;
+
+fn policies(seed: u64) -> Vec<Box<dyn ThermalController>> {
+    vec![
+        Box::new(NullController::default()),
+        Box::new(GeQiu2011Controller::new(GeConfig::default(), seed)),
+        Box::new(DasDac14Controller::new(ControlConfig::default(), seed)),
+    ]
+}
+
+#[test]
+fn generated_population_runs_under_all_policies() {
+    let mut generator = SyntheticGenerator::new(2026);
+    let apps = generator.apps(6);
+    let config = SimConfig {
+        max_sim_time: 900.0,
+        ..SimConfig::default()
+    };
+    for (i, app) in apps.iter().enumerate() {
+        for controller in policies(i as u64) {
+            let label = controller.name().to_string();
+            let out = run_app(app, controller, &config, i as u64);
+            // Physics invariants hold for every (app, policy) pair.
+            assert!(
+                out.peak_temperature() <= 100.0,
+                "{label} on {} overheated",
+                app.name
+            );
+            assert!(out.avg_temperature() >= 20.0);
+            assert!(out.dynamic_energy_j >= 0.0);
+            assert!(out.static_energy_j > 0.0);
+            for r in out.reliability_reports() {
+                assert!(r.mttf_aging_years > 0.0);
+                assert!(r.mttf_cycling_years > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_scenarios_chain_correctly() {
+    // Scenarios need uniform thread counts; force one via the space.
+    let space = thermorl::workload::SyntheticSpace {
+        threads: (4, 4),
+        frames: (20, 80),
+        ..thermorl::workload::SyntheticSpace::default()
+    };
+    let mut g = SyntheticGenerator::with_space(space, 7);
+    let apps = g.apps(3);
+    let scenario = Scenario::new(apps);
+    let config = SimConfig {
+        max_sim_time: 2400.0,
+        ..SimConfig::default()
+    };
+    let out = run_scenario(
+        &scenario,
+        Box::new(DasDac14Controller::new(ControlConfig::default(), 7)),
+        &config,
+        7,
+    );
+    assert!(out.completed, "all three generated apps must finish");
+    assert_eq!(out.app_results.len(), 3);
+    // App boundaries are ordered.
+    for w in out.app_results.windows(2) {
+        assert!(w[1].start_time >= w[0].finish_time.expect("finished") - 1e-6);
+    }
+}
