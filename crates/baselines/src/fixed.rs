@@ -95,10 +95,7 @@ mod tests {
     fn acts_exactly_once() {
         let mut p = FixedPolicy::powersave();
         let first = p.on_sample(&obs());
-        assert_eq!(
-            first.unwrap().governor,
-            Some(GovernorKind::Powersave)
-        );
+        assert_eq!(first.unwrap().governor, Some(GovernorKind::Powersave));
         assert!(p.on_sample(&obs()).is_none());
         assert!(p.on_sample(&obs()).is_none());
     }

@@ -107,7 +107,11 @@ impl GeQiu2011Controller {
             rng: StdRng::seed_from_u64(seed ^ 0x6E20_1100_0000_0001),
             prev: None,
             modified,
-            name: if modified { "ge2011-modified" } else { "ge2011" },
+            name: if modified {
+                "ge2011-modified"
+            } else {
+                "ge2011"
+            },
             decisions: 0,
             resets: 0,
             cfg,

@@ -55,7 +55,12 @@ fn main() {
     println!("# {path}: {} samples at {:.2} s\n", times.len(), dt);
     let analyzer = ReliabilityAnalyzer::default();
     let mut table = Table::with_columns(&[
-        "Core", "Avg T", "Peak T", "Cycles", "TC-MTTF (y)", "Age-MTTF (y)",
+        "Core",
+        "Avg T",
+        "Peak T",
+        "Cycles",
+        "TC-MTTF (y)",
+        "Age-MTTF (y)",
     ]);
     let mut reports = Vec::new();
     for (c, samples) in cores.iter().enumerate() {
@@ -86,5 +91,8 @@ fn main() {
                 .fold(f64::NEG_INFINITY, f64::max)
         })
         .collect();
-    println!("{}", ascii_chart(&[("hottest core (degC)", &hottest)], 100, 14));
+    println!(
+        "{}",
+        ascii_chart(&[("hottest core (degC)", &hottest)], 100, 14)
+    );
 }

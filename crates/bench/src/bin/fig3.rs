@@ -7,7 +7,11 @@ fn main() {
     let ablate = std::env::args().any(|a| a == "--ablate-single-table");
     println!(
         "# Figure 3 — inter-application TC-MTTF normalised to Linux{}\n",
-        if ablate { " (single-table ablation)" } else { "" }
+        if ablate {
+            " (single-table ablation)"
+        } else {
+            ""
+        }
     );
     println!("{}", thermorl_bench::experiments::figure3(ablate));
 }

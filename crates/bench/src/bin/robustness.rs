@@ -35,10 +35,12 @@ fn main() {
     let cells: Vec<(usize, Policy)> = (0..environments.len())
         .flat_map(|e| policies.iter().map(move |&p| (e, p)))
         .collect();
-    let envs = environments.clone();
+    let envs = environments;
     let runs = par_map(cells, move |(e, p)| {
-        let mut sim = SimConfig::default();
-        sim.ambient = envs[e].1;
+        let sim = SimConfig {
+            ambient: envs[e].1,
+            ..SimConfig::default()
+        };
         let scenario = Scenario::single(alpbench::mpeg_dec(DataSet::One));
         let out = run_scenario(&scenario, p.build(SEED), &sim, SEED);
         (e, p, out)

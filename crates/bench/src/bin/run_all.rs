@@ -1,8 +1,22 @@
-//! Runs every experiment and writes markdown + CSV results under
-//! `results/`.
+//! Runs the whole evaluation as **one** campaign through thermorl-runner
+//! and writes markdown + CSV results under `results/`.
+//!
+//! Flags: `--workers N` (default: all cores), `--serial`,
+//! `--checkpoint PATH` (default `results/campaign.jsonl`), `--resume`
+//! (skip jobs already in the checkpoint), `--timeout-s N`, `--quiet`.
+//!
+//! Every job's seed derives from its key, so the rendered results are
+//! identical for any worker count, and a `--resume` after an interruption
+//! matches an uninterrupted run exactly.
 
 use std::io::Write;
 use std::time::Instant;
+
+use thermorl_bench::campaign::{assert_no_failures, new_campaign};
+use thermorl_bench::experiments as exp;
+use thermorl_runner::RunnerConfig;
+
+const DEFAULT_CHECKPOINT: &str = "results/campaign.jsonl";
 
 fn save(name: &str, content: &str) {
     std::fs::create_dir_all("results").expect("create results dir");
@@ -14,9 +28,44 @@ fn save(name: &str, content: &str) {
 
 fn main() {
     let t0 = Instant::now();
+    let mut config = RunnerConfig {
+        checkpoint: Some(DEFAULT_CHECKPOINT.into()),
+        ..RunnerConfig::default()
+    };
+    if let Err(e) = config.apply_cli_args(std::env::args().skip(1), DEFAULT_CHECKPOINT) {
+        eprintln!("run_all: {e}");
+        eprintln!(
+            "usage: run_all [--workers N] [--serial] [--checkpoint PATH] \
+             [--resume] [--timeout-s N] [--quiet]"
+        );
+        std::process::exit(2);
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+
+    // One campaign, every experiment; keys are prefixed per experiment.
+    let mut campaign = new_campaign("run_all");
+    exp::figure1_jobs(&mut campaign);
+    exp::table2_jobs(&mut campaign);
+    exp::figure3_jobs(&mut campaign, false);
+    exp::figure4_5_jobs(&mut campaign);
+    exp::figure6_jobs(&mut campaign);
+    exp::figure7_jobs(&mut campaign);
+    exp::figure8_jobs(&mut campaign);
+    exp::table3_figure9_jobs(&mut campaign);
+    exp::ablations_jobs(&mut campaign);
+    println!(
+        "campaign: {} jobs on {} worker(s){}",
+        campaign.len(),
+        config.workers,
+        if config.resume { " (resuming)" } else { "" }
+    );
+
+    let report = campaign.run(&config);
+    assert_no_failures(&report);
+    save("campaign_telemetry.json", &report.telemetry_json());
 
     println!("[1/9] Figure 1 (motivational)...");
-    let (fig1, traces) = thermorl_bench::experiments::figure1();
+    let (fig1, traces) = exp::figure1_render(&report);
     let mut md = String::from("# Figure 1 — affinity influences thermal profile\n\n");
     md.push_str(&fig1.to_markdown());
     save("fig1.md", &md);
@@ -25,46 +74,48 @@ fn main() {
     }
 
     println!("[2/9] Table 2 (intra-application)...");
-    let t2 = thermorl_bench::experiments::table2();
+    let t2 = exp::table2_render(&report);
     save("table2.md", &format!("# Table 2\n\n{t2}"));
     println!("{t2}");
 
     println!("[3/9] Figure 3 (inter-application)...");
-    let f3 = thermorl_bench::experiments::figure3(false);
+    let f3 = exp::figure3_render(&report, false);
     save("fig3.md", &format!("# Figure 3\n\n{f3}"));
     println!("{f3}");
 
     println!("[4/9] Figures 4 & 5 (learning phases)...");
-    let (f45, traces) = thermorl_bench::experiments::figure4_5();
+    let (f45, traces) = exp::figure4_5_render(&report);
     save("fig4_5.md", &format!("# Figures 4 & 5\n\n{f45}"));
     for (name, csv) in traces {
         save(&name, &csv);
     }
 
     println!("[5/9] Figure 6 (sampling interval)...");
-    let f6 = thermorl_bench::experiments::figure6();
+    let f6 = exp::figure6_render(&report);
     save("fig6.md", &format!("# Figure 6\n\n{f6}"));
 
     println!("[6/9] Figure 7 (decision epoch)...");
-    let f7 = thermorl_bench::experiments::figure7();
+    let f7 = exp::figure7_render(&report);
     save("fig7.md", &format!("# Figure 7\n\n{f7}"));
 
     println!("[7/9] Figure 8 (state/action sizing)...");
-    let f8 = thermorl_bench::experiments::figure8();
+    let f8 = exp::figure8_render(&report);
     save("fig8.md", &format!("# Figure 8\n\n{f8}"));
 
     println!("[8/9] Table 3 + Figure 9 (time/power/energy)...");
-    let (t3, f9) = thermorl_bench::experiments::table3_figure9();
+    let (t3, f9) = exp::table3_figure9_render(&report);
     save("table3.md", &format!("# Table 3\n\n{t3}"));
     save("fig9.md", &format!("# Figure 9\n\n{f9}"));
     println!("{t3}");
 
     println!("[9/9] Ablations...");
-    let ab = thermorl_bench::experiments::ablations();
+    let ab = exp::ablations_render(&report);
     save("ablations.md", &format!("# Ablations\n\n{ab}"));
 
     println!(
-        "\nAll experiments regenerated in {:.1} min.",
-        t0.elapsed().as_secs_f64() / 60.0
+        "\nAll experiments regenerated in {:.1} min ({} simulated, {} resumed).",
+        t0.elapsed().as_secs_f64() / 60.0,
+        report.stats.total() - report.stats.resumed,
+        report.stats.resumed,
     );
 }

@@ -1,30 +1,56 @@
 //! Full-suite matrix: all five ALPBench benchmarks × three datasets ×
-//! three policies. The paper's Table 2 prints three benchmarks; face_rec
-//! and sphinx complete the suite it describes in §6.
+//! three policies, run as a thermorl-runner grid campaign. The paper's
+//! Table 2 prints three benchmarks; face_rec and sphinx complete the
+//! suite it describes in §6.
+//!
+//! Accepts the shared campaign flags (`--workers`, `--serial`,
+//! `--checkpoint`, `--resume`, `--timeout-s`, `--quiet`).
 
-use thermorl_bench::experiments::par_map;
 use thermorl_bench::table::{num, Table};
 use thermorl_bench::{Policy, SEED};
-use thermorl_sim::{run_scenario, SimConfig};
+use thermorl_runner::{scenario_grid, PolicySpec, RunnerConfig};
+use thermorl_sim::SimConfig;
 use thermorl_workload::{alpbench, DataSet, Scenario};
 
 fn main() {
+    let mut config = RunnerConfig {
+        progress: false,
+        ..RunnerConfig::default()
+    };
+    if let Err(e) = config.apply_cli_args(std::env::args().skip(1), "results/suite.jsonl") {
+        eprintln!("suite: {e}");
+        std::process::exit(2);
+    }
+
     println!("# Full ALPBench suite — all five benchmarks (extension of Table 2)\n");
     let names = ["tachyon", "mpeg_dec", "mpeg_enc", "face_rec", "sphinx"];
-    let mut cells = Vec::new();
-    for name in names {
-        for ds in DataSet::all() {
-            for p in Policy::table2() {
-                cells.push((name, ds, p));
-            }
-        }
-    }
-    let runs = par_map(cells, |(name, ds, p)| {
-        let app = alpbench::by_name(name, ds).expect("known benchmark");
-        let scenario = Scenario::single(app.clone());
-        let out = run_scenario(&scenario, p.build(SEED), &SimConfig::default(), SEED);
-        (name, ds, p, app.dataset.clone(), out)
-    });
+    // One single-app scenario per (benchmark, dataset); names are
+    // disambiguated with the dataset index so grid keys stay unique.
+    let scenarios: Vec<Scenario> = names
+        .iter()
+        .flat_map(|name| {
+            DataSet::all().into_iter().map(move |ds| {
+                let mut s = Scenario::single(alpbench::by_name(name, ds).expect("known benchmark"));
+                s.name = format!("{}-{}", name, ds.index());
+                s
+            })
+        })
+        .collect();
+    let policies: Vec<PolicySpec> = Policy::table2()
+        .into_iter()
+        .map(|p| PolicySpec::new(p.slug(), move |seed| p.build(seed)))
+        .collect();
+    let report = scenario_grid(
+        "suite",
+        SEED,
+        &scenarios,
+        &policies,
+        1,
+        &SimConfig::default(),
+    )
+    .run(&config);
+    let failures = report.failures();
+    assert!(failures.is_empty(), "suite jobs failed: {failures:?}");
 
     let mut table = Table::with_columns(&[
         "Application",
@@ -39,15 +65,13 @@ fn main() {
     ]);
     for name in names {
         for ds in DataSet::all() {
+            let app = alpbench::by_name(name, ds).expect("known benchmark");
             for p in Policy::table2() {
-                let (_, _, _, dataset, out) = runs
-                    .iter()
-                    .find(|(n, d, q, _, _)| *n == name && *d == ds && *q == p)
-                    .expect("cell present");
+                let out = report.payload(&format!("{}-{}/{}/0", name, ds.index(), p.slug()));
                 let s = out.reliability_summary();
                 table.row(vec![
                     name.to_string(),
-                    dataset.clone(),
+                    app.dataset.clone(),
                     p.label().to_string(),
                     num(out.avg_temperature(), 1),
                     num(out.peak_temperature(), 1),
@@ -69,10 +93,8 @@ fn main() {
                 .into_iter()
                 .max_by(|a, b| {
                     let get = |p: Policy| {
-                        runs.iter()
-                            .find(|(n, d, q, _, _)| *n == name && *d == ds && *q == p)
-                            .expect("cell present")
-                            .4
+                        report
+                            .payload(&format!("{}-{}/{}/0", name, ds.index(), p.slug()))
                             .reliability_summary()
                             .mttf_combined_years
                     };

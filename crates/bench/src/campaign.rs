@@ -1,0 +1,242 @@
+//! Campaign plumbing shared by every experiment.
+//!
+//! Each experiment contributes keyed jobs producing a [`CellOutcome`] to a
+//! [`Campaign`] and renders its tables from the finished
+//! [`CampaignReport`]. `run_all` pushes every experiment into **one**
+//! campaign (keys are prefixed per experiment, e.g.
+//! `table2/tachyon-1/proposed/0`), so the whole evaluation shares one
+//! worker pool, one checkpoint file, and one `--resume` boundary; the
+//! per-figure binaries build single-experiment campaigns through the same
+//! API.
+
+use thermorl_runner::{Campaign, CampaignReport, Codec, RunnerConfig};
+use thermorl_sim::json::{JsonError, Value};
+use thermorl_sim::RunOutcome;
+
+use crate::experiments::AgentTelemetry;
+use crate::SEED;
+
+/// The payload of every bench job: the simulation outcome plus the
+/// optional extras individual experiments need (agent telemetry for the
+/// learning figures, the thermal trace for the profile figures).
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The simulation outcome.
+    pub outcome: RunOutcome,
+    /// Controller telemetry, for instrumented proposed-policy runs.
+    pub telemetry: Option<AgentTelemetry>,
+    /// The recorded thermal trace as CSV, when the experiment plots it.
+    pub trace_csv: Option<String>,
+}
+
+impl CellOutcome {
+    /// A plain outcome with no extras.
+    pub fn plain(outcome: RunOutcome) -> Self {
+        CellOutcome {
+            outcome,
+            telemetry: None,
+            trace_csv: None,
+        }
+    }
+
+    /// The telemetry of an instrumented run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job did not record telemetry — the experiment
+    /// definition guarantees which cells are instrumented.
+    pub fn telemetry(&self) -> AgentTelemetry {
+        self.telemetry.expect("cell was run instrumented")
+    }
+
+    /// The trace CSV of a trace-recording run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job did not record a trace.
+    pub fn trace_csv(&self) -> &str {
+        self.trace_csv.as_deref().expect("cell recorded a trace")
+    }
+}
+
+fn telemetry_to_json(t: &AgentTelemetry) -> Value {
+    let mut obj = Value::object();
+    obj.set("epochs", Value::UInt(t.epochs));
+    obj.set(
+        "convergence_epoch",
+        match t.convergence_epoch {
+            Some(e) => Value::UInt(e),
+            None => Value::Null,
+        },
+    );
+    obj.set("intra_events", Value::UInt(t.intra_events));
+    obj.set("inter_events", Value::UInt(t.inter_events));
+    obj
+}
+
+fn telemetry_from_json(v: &Value) -> Result<AgentTelemetry, JsonError> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| JsonError::new(format!("telemetry missing {name}")))
+    };
+    let convergence_epoch = match v.get("convergence_epoch") {
+        None | Some(Value::Null) => None,
+        Some(e) => Some(
+            e.as_u64()
+                .ok_or_else(|| JsonError::new("bad convergence_epoch"))?,
+        ),
+    };
+    Ok(AgentTelemetry {
+        epochs: field("epochs")?,
+        convergence_epoch,
+        intra_events: field("intra_events")?,
+        inter_events: field("inter_events")?,
+    })
+}
+
+fn cell_encode(cell: &CellOutcome) -> Value {
+    let mut obj = Value::object();
+    obj.set("outcome", cell.outcome.to_json());
+    obj.set(
+        "telemetry",
+        match &cell.telemetry {
+            Some(t) => telemetry_to_json(t),
+            None => Value::Null,
+        },
+    );
+    obj.set(
+        "trace_csv",
+        match &cell.trace_csv {
+            Some(csv) => Value::Str(csv.clone()),
+            None => Value::Null,
+        },
+    );
+    obj
+}
+
+fn cell_decode(v: &Value) -> Result<CellOutcome, JsonError> {
+    let outcome = RunOutcome::from_json(
+        v.get("outcome")
+            .ok_or_else(|| JsonError::new("cell missing outcome"))?,
+    )?;
+    let telemetry = match v.get("telemetry") {
+        None | Some(Value::Null) => None,
+        Some(t) => Some(telemetry_from_json(t)?),
+    };
+    let trace_csv = match v.get("trace_csv") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(s)) => Some(s.clone()),
+        Some(_) => return Err(JsonError::new("trace_csv must be a string")),
+    };
+    Ok(CellOutcome {
+        outcome,
+        telemetry,
+        trace_csv,
+    })
+}
+
+/// The checkpoint codec for bench cells.
+pub fn cell_codec() -> Codec<CellOutcome> {
+    Codec {
+        encode: cell_encode,
+        decode: cell_decode,
+    }
+}
+
+/// An empty bench campaign with the master seed and the cell codec.
+pub fn new_campaign(name: &str) -> Campaign<CellOutcome> {
+    Campaign::new(name, SEED).with_codec(cell_codec())
+}
+
+/// Builds, runs and reports a single-experiment campaign (the per-figure
+/// binaries' entry point). Runs on the default worker count, quietly.
+pub fn run_experiment(
+    name: &str,
+    jobs: impl FnOnce(&mut Campaign<CellOutcome>),
+) -> CampaignReport<CellOutcome> {
+    let mut campaign = new_campaign(name);
+    jobs(&mut campaign);
+    let config = RunnerConfig {
+        progress: false,
+        ..RunnerConfig::default()
+    };
+    let report = campaign.run(&config);
+    assert_no_failures(&report);
+    report
+}
+
+/// Panics with a readable summary if any job failed (the renderers need
+/// every cell; a partial table would be silently wrong).
+pub fn assert_no_failures(report: &CampaignReport<CellOutcome>) {
+    let failures = report.failures();
+    assert!(
+        failures.is_empty(),
+        "campaign {:?}: {} job(s) failed: {:?}",
+        report.name,
+        failures.len(),
+        failures
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thermorl_sim::{run_scenario, NullController, SimConfig};
+    use thermorl_workload::{alpbench, DataSet, Scenario};
+
+    #[test]
+    fn cell_round_trips_through_codec() {
+        let app = alpbench::mpeg_dec(DataSet::One);
+        let sim = SimConfig {
+            max_sim_time: 30.0,
+            ..SimConfig::default()
+        };
+        let outcome = run_scenario(
+            &Scenario::single(app),
+            Box::new(NullController::default()),
+            &sim,
+            7,
+        );
+        let cell = CellOutcome {
+            outcome,
+            telemetry: Some(AgentTelemetry {
+                epochs: 10,
+                convergence_epoch: None,
+                intra_events: 3,
+                inter_events: 1,
+            }),
+            trace_csv: Some("time,temp0\n0.0,45.0\n".into()),
+        };
+        let codec = cell_codec();
+        let encoded = (codec.encode)(&cell);
+        let decoded =
+            (codec.decode)(&Value::parse(&encoded.to_json()).expect("parse")).expect("decode");
+        assert_eq!(decoded.outcome, cell.outcome);
+        assert_eq!(
+            decoded.telemetry.expect("telemetry").epochs,
+            cell.telemetry.expect("telemetry").epochs
+        );
+        assert_eq!(decoded.trace_csv, cell.trace_csv);
+    }
+
+    #[test]
+    fn plain_cell_has_null_extras() {
+        let app = alpbench::tachyon(DataSet::One);
+        let sim = SimConfig {
+            max_sim_time: 10.0,
+            ..SimConfig::default()
+        };
+        let outcome = run_scenario(
+            &Scenario::single(app),
+            Box::new(NullController::default()),
+            &sim,
+            7,
+        );
+        let cell = CellOutcome::plain(outcome);
+        let encoded = cell_encode(&cell);
+        let decoded = cell_decode(&encoded).expect("decode");
+        assert!(decoded.telemetry.is_none());
+        assert!(decoded.trace_csv.is_none());
+    }
+}

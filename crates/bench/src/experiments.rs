@@ -1,22 +1,38 @@
 //! Implementations of every table and figure of the paper's evaluation.
 //!
-//! Each function runs the required simulations (in parallel across OS
-//! threads — every run is deterministic given its seed) and renders the
-//! same rows/series the paper reports. The binaries in `src/bin/` are thin
-//! wrappers; `run_all` executes everything and writes the results under
-//! `results/`.
+//! Each experiment is split into two pure halves wired through the
+//! campaign engine ([`crate::campaign`]):
+//!
+//! * `*_jobs(&mut Campaign)` pushes the experiment's keyed simulation
+//!   jobs (keys like `table2/tachyon-1/proposed/0`); the runner derives
+//!   each job's seed from its key, so results are independent of worker
+//!   count and execution order.
+//! * `*_render(&CampaignReport)` turns the finished report back into the
+//!   paper's tables/traces by addressing payloads with the same keys.
+//!
+//! The classic one-shot entry points (`table2()`, `figure3(..)`, …) are
+//! kept as wrappers that build, run and render a single-experiment
+//! campaign; `run_all` pushes every experiment into one big campaign so
+//! the whole evaluation shares a worker pool, a checkpoint file and one
+//! `--resume` boundary.
 
 use std::sync::Mutex;
 
 use thermorl_control::{ActionSpace, ControlConfig, DasDac14Controller, StateSpace};
 use thermorl_platform::{assignment_presets, GovernorKind, OppTable};
 use thermorl_reliability::ReliabilityAnalyzer;
+use thermorl_runner::{Campaign, CampaignReport};
 use thermorl_sim::{run_scenario, RunOutcome, SimConfig, Simulation, ThermalController};
 use thermorl_workload::{alpbench, AppModel, DataSet, Scenario};
 
+use crate::campaign::{run_experiment, CellOutcome};
 use crate::policy::Policy;
 use crate::table::{num, Table};
-use crate::SEED;
+
+/// Deterministic parallel map over experiment descriptors (re-exported
+/// from the runner's worker pool; same shared-queue discipline as the
+/// campaign engine).
+pub use thermorl_runner::par_map;
 
 /// Telemetry extracted from an instrumented proposed-controller run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -79,76 +95,113 @@ pub fn run_instrumented(
     (outcome, t)
 }
 
-/// Parallel deterministic map over experiment descriptors.
-pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let items: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = Mutex::new(items);
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| loop {
-                let item = queue.lock().expect("queue lock").pop();
-                match item {
-                    Some((i, t)) => {
-                        let r = f(t);
-                        results.lock().expect("results lock").push((i, r));
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-    let mut results = results.into_inner().expect("results lock");
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, r)| r).collect()
-}
-
 fn default_sim() -> SimConfig {
     SimConfig::default()
 }
 
-/// Runs one (app, policy) cell of the intra-application evaluation.
-fn run_cell(app: &AppModel, policy: Policy, seed: u64) -> RunOutcome {
-    let scenario = Scenario::single(app.clone());
-    run_scenario(&scenario, policy.build(seed), &default_sim(), seed)
+// ---------------------------------------------------------------------
+// Job builders shared by the experiments.
+// ---------------------------------------------------------------------
+
+/// Work function: run `scenario` under `policy`.
+fn policy_job(scenario: Scenario, policy: Policy) -> impl Fn(u64) -> CellOutcome {
+    move |seed| {
+        CellOutcome::plain(run_scenario(
+            &scenario,
+            policy.build(seed),
+            &default_sim(),
+            seed,
+        ))
+    }
+}
+
+/// Work function: run the instrumented proposed controller with `cfg`.
+fn instrumented_job(scenario: Scenario, cfg: ControlConfig) -> impl Fn(u64) -> CellOutcome {
+    move |seed| {
+        let (outcome, telemetry) = run_instrumented(&scenario, cfg.clone(), &default_sim(), seed);
+        CellOutcome {
+            outcome,
+            telemetry: Some(telemetry),
+            trace_csv: None,
+        }
+    }
+}
+
+/// Work function: run `scenario` under `policy` with trace recording on.
+fn traced_job(scenario: Scenario, policy: Policy) -> impl Fn(u64) -> CellOutcome {
+    move |seed| {
+        let mut sim = default_sim();
+        sim.record_trace = true;
+        let mut simulation = Simulation::new(scenario.clone(), policy.build(seed), &sim, seed);
+        let outcome = simulation.run();
+        let mut csv = Vec::new();
+        simulation
+            .trace()
+            .to_csv(&mut csv)
+            .expect("writing to memory cannot fail");
+        CellOutcome {
+            outcome,
+            telemetry: None,
+            trace_csv: Some(String::from_utf8(csv).expect("csv is utf-8")),
+        }
+    }
+}
+
+/// The hottest-core series of a recorded trace CSV (`time,temp0..,..`).
+fn max_temp_series_from_csv(csv: &str) -> Vec<f64> {
+    let mut lines = csv.lines();
+    let temp_cols = lines
+        .next()
+        .map(|h| h.split(',').filter(|c| c.starts_with("temp")).count())
+        .unwrap_or(0);
+    lines
+        .map(|l| {
+            l.split(',')
+                .skip(1)
+                .take(temp_cols)
+                .filter_map(|v| v.parse::<f64>().ok())
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
 // Table 2 — intra-application MTTF.
 // ---------------------------------------------------------------------
 
-/// Regenerates Table 2: average temperature, peak temperature, cycling
-/// MTTF and aging MTTF for {tachyon, mpeg_dec, mpeg_enc} × three datasets
-/// × {Linux, Ge \[7\], Proposed}.
-pub fn table2() -> Table {
-    let apps: Vec<(String, AppModel)> = ["tachyon", "mpeg_dec", "mpeg_enc"]
+/// The Table 2 application grid: `(key_label, table_label, app)`.
+fn table2_apps() -> Vec<(String, String, AppModel)> {
+    ["tachyon", "mpeg_dec", "mpeg_enc"]
         .iter()
         .flat_map(|name| {
             DataSet::all().into_iter().map(move |ds| {
                 let app = alpbench::by_name(name, ds).expect("known benchmark");
-                (format!("{} {}", name, app.dataset), app)
+                (
+                    format!("{}-{}", name, ds.index()),
+                    format!("{} {}", name, app.dataset),
+                    app,
+                )
             })
         })
-        .collect();
-    let cells: Vec<(usize, Policy, AppModel)> = apps
-        .iter()
-        .enumerate()
-        .flat_map(|(i, (_, app))| {
-            Policy::table2()
-                .into_iter()
-                .map(move |p| (i, p, app.clone()))
-        })
-        .collect();
-    let outcomes = par_map(cells, |(i, p, app)| (i, p, run_cell(&app, p, SEED)));
+        .collect()
+}
 
+/// Pushes the Table 2 grid: three applications × three datasets ×
+/// {Linux, Ge \[7\], Proposed}.
+pub fn table2_jobs(campaign: &mut Campaign<CellOutcome>) {
+    for (key_label, _, app) in table2_apps() {
+        for p in Policy::table2() {
+            campaign.push(
+                format!("table2/{key_label}/{}/0", p.slug()),
+                policy_job(Scenario::single(app.clone()), p),
+            );
+        }
+    }
+}
+
+/// Renders Table 2 from a finished campaign: average temperature, peak
+/// temperature, cycling MTTF and aging MTTF per cell.
+pub fn table2_render(report: &CampaignReport<CellOutcome>) -> Table {
     let mut table = Table::with_columns(&[
         "Application",
         "Data",
@@ -165,24 +218,24 @@ pub fn table2() -> Table {
         "Age-MTTF Ge",
         "Age-MTTF Prop",
     ]);
-    for (i, (label, _)) in apps.iter().enumerate() {
+    for (key_label, table_label, _) in table2_apps() {
         let mut avg = vec![String::new(); 3];
         let mut peak = vec![String::new(); 3];
         let mut tc = vec![String::new(); 3];
         let mut age = vec![String::new(); 3];
         for (j, p) in Policy::table2().into_iter().enumerate() {
-            let out = outcomes
-                .iter()
-                .find(|(k, q, _)| *k == i && *q == p)
-                .map(|(_, _, o)| o)
-                .expect("cell present");
+            let out = &report
+                .payload(&format!("table2/{key_label}/{}/0", p.slug()))
+                .outcome;
             let s = out.reliability_summary();
             avg[j] = num(out.avg_temperature(), 1);
             peak[j] = num(out.peak_temperature(), 1);
             tc[j] = num(s.mttf_cycling_years, 1);
             age[j] = num(s.mttf_aging_years, 1);
         }
-        let (name, data) = label.split_once(' ').unwrap_or((label.as_str(), ""));
+        let (name, data) = table_label
+            .split_once(' ')
+            .unwrap_or((table_label.as_str(), ""));
         let mut row = vec![name.to_string(), data.to_string()];
         row.extend(avg);
         row.extend(peak);
@@ -193,39 +246,49 @@ pub fn table2() -> Table {
     table
 }
 
+/// Regenerates Table 2 as a standalone campaign.
+pub fn table2() -> Table {
+    table2_render(&run_experiment("table2", table2_jobs))
+}
+
 // ---------------------------------------------------------------------
 // Figure 3 — inter-application normalised cycling MTTF.
 // ---------------------------------------------------------------------
 
-/// Regenerates Figure 3: thermal-cycling MTTF of six inter-application
-/// scenarios, normalised to Linux ondemand. With `single_table` the
-/// proposed controller's dual-Q-table mechanism is ablated.
-pub fn figure3(single_table: bool) -> Table {
-    let scenarios = Scenario::paper_figure3(DataSet::One);
-    let cells: Vec<(usize, Policy, Scenario)> = scenarios
-        .iter()
-        .enumerate()
-        .flat_map(|(i, s)| {
-            Policy::figure3()
-                .into_iter()
-                .map(move |p| (i, p, s.clone()))
-        })
-        .collect();
-    let outcomes = par_map(cells, |(i, p, scenario)| {
-        let sim = default_sim();
-        if p == Policy::Proposed {
-            let cfg = ControlConfig {
-                dual_q_tables: !single_table,
-                ..ControlConfig::default()
-            };
-            let (out, tel) = run_instrumented(&scenario, cfg, &sim, SEED);
-            (i, p, out, Some(tel))
-        } else {
-            let out = run_scenario(&scenario, p.build(SEED), &sim, SEED);
-            (i, p, out, None)
-        }
-    });
+fn figure3_prefix(single_table: bool) -> &'static str {
+    if single_table {
+        "fig3-single"
+    } else {
+        "fig3"
+    }
+}
 
+/// Pushes the Figure 3 grid: six inter-application scenarios ×
+/// {Linux, Ge modified, Proposed}. With `single_table` the proposed
+/// controller's dual-Q-table mechanism is ablated (distinct job keys, so
+/// both variants can coexist in one campaign).
+pub fn figure3_jobs(campaign: &mut Campaign<CellOutcome>, single_table: bool) {
+    let prefix = figure3_prefix(single_table);
+    for scenario in Scenario::paper_figure3(DataSet::One) {
+        for p in Policy::figure3() {
+            let key = format!("{prefix}/{}/{}/0", scenario.name, p.slug());
+            if p == Policy::Proposed {
+                let cfg = ControlConfig {
+                    dual_q_tables: !single_table,
+                    ..ControlConfig::default()
+                };
+                campaign.push(key, instrumented_job(scenario.clone(), cfg));
+            } else {
+                campaign.push(key, policy_job(scenario.clone(), p));
+            }
+        }
+    }
+}
+
+/// Renders Figure 3 from a finished campaign: thermal-cycling MTTF per
+/// scenario, normalised to Linux ondemand.
+pub fn figure3_render(report: &CampaignReport<CellOutcome>, single_table: bool) -> Table {
+    let prefix = figure3_prefix(single_table);
     let mut table = Table::with_columns(&[
         "Scenario",
         "TC-MTTF Linux (y)",
@@ -233,61 +296,61 @@ pub fn figure3(single_table: bool) -> Table {
         "Proposed norm",
         "Proposed switches detected",
     ]);
-    for (i, s) in scenarios.iter().enumerate() {
-        let get = |p: Policy| {
-            outcomes
-                .iter()
-                .find(|(k, q, _, _)| *k == i && *q == p)
-                .expect("cell present")
-        };
-        let linux = get(Policy::LinuxOndemand).2.reliability_summary();
-        let ge = get(Policy::Ge2011Modified).2.reliability_summary();
-        let prop_cell = get(Policy::Proposed);
-        let prop = prop_cell.2.reliability_summary();
+    for s in Scenario::paper_figure3(DataSet::One) {
+        let cell = |p: Policy| report.payload(&format!("{prefix}/{}/{}/0", s.name, p.slug()));
+        let linux = cell(Policy::LinuxOndemand).outcome.reliability_summary();
+        let ge = cell(Policy::Ge2011Modified).outcome.reliability_summary();
+        let prop_cell = cell(Policy::Proposed);
+        let prop = prop_cell.outcome.reliability_summary();
         let base = linux.mttf_cycling_years;
         table.row(vec![
             s.name.clone(),
             num(base, 2),
             num(ge.mttf_cycling_years / base, 2),
             num(prop.mttf_cycling_years / base, 2),
-            format!(
-                "{} (apps: {})",
-                prop_cell.3.map(|t| t.inter_events).unwrap_or(0),
-                s.len()
-            ),
+            format!("{} (apps: {})", prop_cell.telemetry().inter_events, s.len()),
         ]);
     }
     table
+}
+
+/// Regenerates Figure 3 as a standalone campaign.
+pub fn figure3(single_table: bool) -> Table {
+    let report = run_experiment(figure3_prefix(single_table), |c| {
+        figure3_jobs(c, single_table)
+    });
+    figure3_render(&report, single_table)
 }
 
 // ---------------------------------------------------------------------
 // Figure 1 — motivational thread-assignment experiment.
 // ---------------------------------------------------------------------
 
-/// Regenerates the §3 motivational experiment: face_rec and mpeg_enc run
-/// back-to-back under Linux's default allocation vs. the fixed user
-/// assignment. Returns the summary table and the two thermal traces
-/// (hottest-core series) as CSV strings.
-pub fn figure1() -> (Table, Vec<(String, String)>) {
-    let scenario = Scenario::new(vec![
+fn figure1_scenario() -> Scenario {
+    Scenario::new(vec![
         alpbench::face_rec(DataSet::One),
         alpbench::mpeg_enc(DataSet::One),
-    ]);
-    let policies = [Policy::LinuxOndemand, Policy::UserAssignment];
-    let runs = par_map(policies.to_vec(), |p| {
-        let mut sim = default_sim();
-        sim.record_trace = true;
-        let mut simulation =
-            Simulation::new(scenario.clone(), p.build(SEED), &sim, SEED);
-        let out = simulation.run();
-        let mut csv = Vec::new();
-        simulation
-            .trace()
-            .to_csv(&mut csv)
-            .expect("writing to memory cannot fail");
-        (p, out, String::from_utf8(csv).expect("csv is utf-8"))
-    });
+    ])
+}
 
+const FIGURE1_POLICIES: [Policy; 2] = [Policy::LinuxOndemand, Policy::UserAssignment];
+
+/// Pushes the §3 motivational experiment: face_rec and mpeg_enc
+/// back-to-back under Linux's default allocation vs. the fixed user
+/// assignment, with trace recording.
+pub fn figure1_jobs(campaign: &mut Campaign<CellOutcome>) {
+    for p in FIGURE1_POLICIES {
+        campaign.push(
+            format!("fig1/{}/0", p.slug()),
+            traced_job(figure1_scenario(), p),
+        );
+    }
+}
+
+/// Renders Figure 1: the summary table and the two thermal traces
+/// (hottest-core series) as CSV strings.
+pub fn figure1_render(report: &CampaignReport<CellOutcome>) -> (Table, Vec<(String, String)>) {
+    let scenario = figure1_scenario();
     let analyzer = ReliabilityAnalyzer::default();
     let mut table = Table::with_columns(&[
         "Policy",
@@ -300,7 +363,9 @@ pub fn figure1() -> (Table, Vec<(String, String)>) {
     ]);
     let mut traces = Vec::new();
     let mut stress_base = None;
-    for (p, out, csv) in &runs {
+    for p in FIGURE1_POLICIES {
+        let cell = report.payload(&format!("fig1/{}/0", p.slug()));
+        let out = &cell.outcome;
         // Split the per-core profiles at the app boundary.
         let boundary = out.app_results[0]
             .finish_time
@@ -327,8 +392,7 @@ pub fn figure1() -> (Table, Vec<(String, String)>) {
                         .expect("finite")
                 })
                 .expect("four cores");
-            let avg =
-                reports.iter().map(|r| r.avg_temp_c).sum::<f64>() / reports.len() as f64;
+            let avg = reports.iter().map(|r| r.avg_temp_c).sum::<f64>() / reports.len() as f64;
             let peak = reports
                 .iter()
                 .map(|r| r.peak_temp_c)
@@ -344,35 +408,48 @@ pub fn figure1() -> (Table, Vec<(String, String)>) {
                 num(worst.mttf_cycling_years, 1),
             ]);
         }
-        traces.push((format!("fig1_{}.csv", p.label().replace(' ', "_")), csv.clone()));
+        traces.push((
+            format!("fig1_{}.csv", p.label().replace(' ', "_")),
+            cell.trace_csv().to_string(),
+        ));
     }
     (table, traces)
+}
+
+/// Regenerates Figure 1 as a standalone campaign.
+pub fn figure1() -> (Table, Vec<(String, String)>) {
+    figure1_render(&run_experiment("fig1", figure1_jobs))
 }
 
 // ---------------------------------------------------------------------
 // Figures 4 & 5 — exploration vs exploitation phases.
 // ---------------------------------------------------------------------
 
-/// Regenerates Figures 4 and 5: the face_rec temperature profile under
-/// the proposed algorithm during its exploration phase and its
-/// exploitation phase, against Linux ondemand over the same windows.
-pub fn figure4_5() -> (Table, Vec<(String, String)>) {
-    let app = alpbench::face_rec(DataSet::One);
-    let scenario = Scenario::single(app);
-    let runs = par_map(vec![Policy::LinuxOndemand, Policy::Proposed], |p| {
-        let mut sim = default_sim();
-        sim.record_trace = true;
-        let mut simulation =
-            Simulation::new(scenario.clone(), p.build(SEED), &sim, SEED);
-        let out = simulation.run();
-        let series = simulation.trace().max_temp_series();
-        let mut csv = Vec::new();
-        simulation
-            .trace()
-            .to_csv(&mut csv)
-            .expect("writing to memory cannot fail");
-        (p, out, series, String::from_utf8(csv).expect("utf-8"))
-    });
+const FIGURE4_5_POLICIES: [Policy; 2] = [Policy::LinuxOndemand, Policy::Proposed];
+
+/// Pushes Figures 4 & 5: face_rec under the proposed algorithm vs Linux
+/// ondemand, with trace recording for the phase windows.
+pub fn figure4_5_jobs(campaign: &mut Campaign<CellOutcome>) {
+    let scenario = Scenario::single(alpbench::face_rec(DataSet::One));
+    for p in FIGURE4_5_POLICIES {
+        campaign.push(
+            format!("fig4_5/{}/0", p.slug()),
+            traced_job(scenario.clone(), p),
+        );
+    }
+}
+
+/// Renders Figures 4 & 5: window statistics during exploration and
+/// exploitation, plus the two traces as CSV.
+pub fn figure4_5_render(report: &CampaignReport<CellOutcome>) -> (Table, Vec<(String, String)>) {
+    let cells: Vec<(Policy, &CellOutcome)> = FIGURE4_5_POLICIES
+        .iter()
+        .map(|&p| (p, report.payload(&format!("fig4_5/{}/0", p.slug()))))
+        .collect();
+    let series: Vec<Vec<f64>> = cells
+        .iter()
+        .map(|(_, c)| max_temp_series_from_csv(c.trace_csv()))
+        .collect();
 
     // Exploration = the first round-robin sweep (9 actions × 30 s epochs).
     let explore_end = 270usize;
@@ -383,7 +460,6 @@ pub fn figure4_5() -> (Table, Vec<(String, String)>) {
         "Ondemand peak",
         "Proposed peak",
     ]);
-    let series: Vec<&Vec<f64>> = runs.iter().map(|(_, _, s, _)| s).collect();
     let window_stats = |s: &[f64], from: usize, to: usize| {
         let to = to.min(s.len());
         let from = from.min(to);
@@ -398,12 +474,12 @@ pub fn figure4_5() -> (Table, Vec<(String, String)>) {
         }
     };
     let shortest = series.iter().map(|s| s.len()).min().unwrap_or(0);
-    let (od_exp, od_exp_peak) = window_stats(series[0], 0, explore_end);
-    let (pr_exp, pr_exp_peak) = window_stats(series[1], 0, explore_end);
+    let (od_exp, od_exp_peak) = window_stats(&series[0], 0, explore_end);
+    let (pr_exp, pr_exp_peak) = window_stats(&series[1], 0, explore_end);
     // Exploitation: the last 40% of the shorter run.
     let tail_from = shortest * 6 / 10;
-    let (od_expl, od_expl_peak) = window_stats(series[0], tail_from, shortest);
-    let (pr_expl, pr_expl_peak) = window_stats(series[1], tail_from, shortest);
+    let (od_expl, od_expl_peak) = window_stats(&series[0], tail_from, shortest);
+    let (pr_expl, pr_expl_peak) = window_stats(&series[1], tail_from, shortest);
     table.row(vec![
         "Exploration (Fig 4)".into(),
         num(od_exp, 1),
@@ -418,24 +494,34 @@ pub fn figure4_5() -> (Table, Vec<(String, String)>) {
         num(od_expl_peak, 1),
         num(pr_expl_peak, 1),
     ]);
-    let traces = runs
+    let traces = cells
         .iter()
-        .map(|(p, _, _, csv)| (format!("fig4_5_{}.csv", p.label()), csv.clone()))
+        .map(|(p, c)| {
+            (
+                format!("fig4_5_{}.csv", p.label()),
+                c.trace_csv().to_string(),
+            )
+        })
         .collect();
     (table, traces)
+}
+
+/// Regenerates Figures 4 & 5 as a standalone campaign.
+pub fn figure4_5() -> (Table, Vec<(String, String)>) {
+    figure4_5_render(&run_experiment("fig4_5", figure4_5_jobs))
 }
 
 // ---------------------------------------------------------------------
 // Figure 6 — temperature sampling interval.
 // ---------------------------------------------------------------------
 
-/// Regenerates Figure 6: computed MTTF, sample autocorrelation,
-/// cache-misses and page-faults versus the temperature sampling interval
-/// (1–10 s) for tachyon.
-pub fn figure6() -> Table {
+const FIGURE6_INTERVALS: std::ops::RangeInclusive<usize> = 1..=10;
+
+/// Pushes Figure 6: the proposed controller at temperature sampling
+/// intervals of 1–10 s on tachyon.
+pub fn figure6_jobs(campaign: &mut Campaign<CellOutcome>) {
     let app = alpbench::tachyon(DataSet::Two);
-    let intervals: Vec<usize> = (1..=10).collect();
-    let rows = par_map(intervals, |interval| {
+    for interval in FIGURE6_INTERVALS {
         // Keep the decision epoch near 30 s regardless of the interval —
         // that's the whole point of decoupling the two.
         let cfg = ControlConfig {
@@ -443,11 +529,31 @@ pub fn figure6() -> Table {
             epoch_samples: (30 / interval).max(2),
             ..ControlConfig::default()
         };
-        let scenario = Scenario::single(app.clone());
-        let (out, _tel) = run_instrumented(&scenario, cfg, &default_sim(), SEED);
+        campaign.push(
+            format!("fig6/interval-{interval}/0"),
+            instrumented_job(Scenario::single(app.clone()), cfg),
+        );
+    }
+}
+
+/// Renders Figure 6: computed MTTF, sample autocorrelation, cache misses
+/// and page faults versus the sampling interval.
+pub fn figure6_render(report: &CampaignReport<CellOutcome>) -> Table {
+    let mut table = Table::with_columns(&[
+        "Interval (s)",
+        "Computed TC-MTTF (y)",
+        "Autocorrelation",
+        "Cache misses (M)",
+        "Page faults (k)",
+        "Exec time (s)",
+    ]);
+    let analyzer = ReliabilityAnalyzer::default();
+    for interval in FIGURE6_INTERVALS {
+        let out = &report
+            .payload(&format!("fig6/interval-{interval}/0"))
+            .outcome;
         // "Computed MTTF": what the controller *believes* from samples at
         // this interval — the fixed-rate profile decimated to the interval.
-        let analyzer = ReliabilityAnalyzer::default();
         let computed: f64 = out
             .sensor_profiles
             .iter()
@@ -459,71 +565,59 @@ pub fn figure6() -> Table {
             .map(|p| p.autocorrelation(interval))
             .sum::<f64>()
             / out.sensor_profiles.len() as f64;
-        (
-            interval,
-            computed,
-            autocorr,
-            out.counters.cache_misses,
-            out.counters.page_faults,
-            out.total_time,
-        )
-    });
-    let mut table = Table::with_columns(&[
-        "Interval (s)",
-        "Computed TC-MTTF (y)",
-        "Autocorrelation",
-        "Cache misses (M)",
-        "Page faults (k)",
-        "Exec time (s)",
-    ]);
-    for (i, mttf, ac, misses, faults, time) in rows {
         table.row(vec![
-            i.to_string(),
-            num(mttf, 2),
-            num(ac, 3),
-            num(misses / 1e6, 1),
-            num(faults / 1e3, 2),
-            num(time, 0),
+            interval.to_string(),
+            num(computed, 2),
+            num(autocorr, 3),
+            num(out.counters.cache_misses / 1e6, 1),
+            num(out.counters.page_faults / 1e3, 2),
+            num(out.total_time, 0),
         ]);
     }
     table
+}
+
+/// Regenerates Figure 6 as a standalone campaign.
+pub fn figure6() -> Table {
+    figure6_render(&run_experiment("fig6", figure6_jobs))
 }
 
 // ---------------------------------------------------------------------
 // Figure 7 — decision epoch length.
 // ---------------------------------------------------------------------
 
-/// Regenerates Figure 7: normalised execution time, normalised dynamic
-/// energy and normalised learning time versus the decision epoch for
-/// tachyon, mpeg_dec and mpeg_enc.
-pub fn figure7() -> Table {
-    let apps = [
+fn figure7_apps() -> [(&'static str, AppModel); 3] {
+    [
         ("tachyon", alpbench::tachyon(DataSet::Two)),
         ("mpeg_dec", alpbench::mpeg_dec(DataSet::One)),
         ("mpeg_enc", alpbench::mpeg_enc(DataSet::One)),
-    ];
-    let epochs_s: Vec<usize> = vec![6, 15, 30, 45, 60, 81];
-    // Baselines: Linux run per app.
-    let baselines = par_map(apps.to_vec(), |(name, app)| {
-        let out = run_cell(&app, Policy::LinuxOndemand, SEED);
-        (name, out.total_time, out.dynamic_energy_j)
-    });
-    let cells: Vec<(&str, AppModel, usize)> = apps
-        .iter()
-        .flat_map(|(name, app)| {
-            epochs_s
-                .iter()
-                .map(move |&e| (*name, app.clone(), e))
-        })
-        .collect();
-    let runs = par_map(cells, |(name, app, epoch_s)| {
-        let mut cfg = ControlConfig::default();
-        cfg.epoch_samples = (epoch_s as f64 / cfg.sampling_interval).round() as usize;
-        let scenario = Scenario::single(app);
-        let (out, tel) = run_instrumented(&scenario, cfg, &default_sim(), SEED);
-        (name, epoch_s, out, tel)
-    });
+    ]
+}
 
+const FIGURE7_EPOCHS_S: [usize; 6] = [6, 15, 30, 45, 60, 81];
+
+/// Pushes Figure 7: per-app Linux baselines plus the proposed controller
+/// at six decision-epoch lengths.
+pub fn figure7_jobs(campaign: &mut Campaign<CellOutcome>) {
+    for (name, app) in figure7_apps() {
+        campaign.push(
+            format!("fig7/baseline/{name}/0"),
+            policy_job(Scenario::single(app.clone()), Policy::LinuxOndemand),
+        );
+        for epoch_s in FIGURE7_EPOCHS_S {
+            let mut cfg = ControlConfig::default();
+            cfg.epoch_samples = (epoch_s as f64 / cfg.sampling_interval).round() as usize;
+            campaign.push(
+                format!("fig7/{name}/epoch-{epoch_s}/0"),
+                instrumented_job(Scenario::single(app.clone()), cfg),
+            );
+        }
+    }
+}
+
+/// Renders Figure 7: normalised execution time, normalised dynamic energy
+/// and learning time versus the decision epoch.
+pub fn figure7_render(report: &CampaignReport<CellOutcome>) -> Table {
     let mut table = Table::with_columns(&[
         "App",
         "Epoch (s)",
@@ -532,73 +626,84 @@ pub fn figure7() -> Table {
         "Learning time (epochs)",
         "Learning time (s)",
     ]);
-    for (name, epoch_s, out, tel) in &runs {
-        let (_, base_time, base_energy) = baselines
-            .iter()
-            .find(|(n, _, _)| n == name)
-            .expect("baseline present");
-        let learn_epochs = tel.convergence_epoch.unwrap_or(tel.epochs);
-        table.row(vec![
-            name.to_string(),
-            epoch_s.to_string(),
-            num(out.total_time / base_time, 3),
-            num(out.dynamic_energy_j / base_energy, 3),
-            learn_epochs.to_string(),
-            num(learn_epochs as f64 * *epoch_s as f64, 0),
-        ]);
+    for (name, _) in figure7_apps() {
+        let base = &report.payload(&format!("fig7/baseline/{name}/0")).outcome;
+        for epoch_s in FIGURE7_EPOCHS_S {
+            let cell = report.payload(&format!("fig7/{name}/epoch-{epoch_s}/0"));
+            let tel = cell.telemetry();
+            let learn_epochs = tel.convergence_epoch.unwrap_or(tel.epochs);
+            table.row(vec![
+                name.to_string(),
+                epoch_s.to_string(),
+                num(cell.outcome.total_time / base.total_time, 3),
+                num(cell.outcome.dynamic_energy_j / base.dynamic_energy_j, 3),
+                learn_epochs.to_string(),
+                num(learn_epochs as f64 * epoch_s as f64, 0),
+            ]);
+        }
     }
     table
+}
+
+/// Regenerates Figure 7 as a standalone campaign.
+pub fn figure7() -> Table {
+    figure7_render(&run_experiment("fig7", figure7_jobs))
 }
 
 // ---------------------------------------------------------------------
 // Figure 8 — state/action space sizing.
 // ---------------------------------------------------------------------
 
-/// Regenerates Figure 8: convergence iterations and the resulting
-/// (cycling-MTTF, aging-MTTF) pair versus the number of states and
-/// actions, for mpeg_dec.
-pub fn figure8() -> Table {
+const FIGURE8_SIZES: [usize; 3] = [4, 8, 12];
+const FIGURE8_REPS: usize = 4; // average out single-run learning noise
+
+fn figure8_config(n_states: usize, n_actions: usize) -> ControlConfig {
+    let mut cfg = ControlConfig::default();
+    // Factor the state count into (stress × aging) bins.
+    let (s_bins, a_bins) = match n_states {
+        4 => (2, 2),
+        8 => (2, 4),
+        _ => (3, 4),
+    };
+    cfg.state_space = StateSpace::new(s_bins, a_bins, 8.0, 8.0);
+    // Governor axis ordered coarse-to-fine: small action spaces only
+    // reach the high-frequency presets; the finer low-frequency and
+    // mapping actions (where the MTTF gains live) appear as the space
+    // grows — the paper's "finer control on the temperature".
+    let mappings = assignment_presets(6, 4);
+    let governors = [
+        GovernorKind::Ondemand,
+        GovernorKind::Performance,
+        GovernorKind::Conservative,
+        GovernorKind::Userspace(4),
+        GovernorKind::Userspace(3),
+        GovernorKind::Userspace(2),
+    ];
+    cfg.action_space = Some(ActionSpace::cartesian(&mappings, &governors).truncated(n_actions));
+    cfg.opp_table = OppTable::intel_quad();
+    cfg
+}
+
+/// Pushes Figure 8: convergence and MTTF versus state/action space sizes
+/// on mpeg_dec, with [`FIGURE8_REPS`] differently-seeded repetitions per
+/// size pair (the runner derives a distinct seed per repetition key).
+pub fn figure8_jobs(campaign: &mut Campaign<CellOutcome>) {
     let app = alpbench::mpeg_dec(DataSet::One);
-    let sizes = [4usize, 8, 12];
-    const SEEDS: u64 = 4; // average out single-run learning noise
-    let mut cells = Vec::new();
-    for &ns in &sizes {
-        for &na in &sizes {
-            for s in 0..SEEDS {
-                cells.push((ns, na, SEED + s * 101));
+    for ns in FIGURE8_SIZES {
+        for na in FIGURE8_SIZES {
+            for rep in 0..FIGURE8_REPS {
+                campaign.push(
+                    format!("fig8/s{ns}-a{na}/{rep}"),
+                    instrumented_job(Scenario::single(app.clone()), figure8_config(ns, na)),
+                );
             }
         }
     }
-    let raw = par_map(cells, |(n_states, n_actions, seed)| {
-        let mut cfg = ControlConfig::default();
-        // Factor the state count into (stress × aging) bins.
-        let (s_bins, a_bins) = match n_states {
-            4 => (2, 2),
-            8 => (2, 4),
-            _ => (3, 4),
-        };
-        cfg.state_space = StateSpace::new(s_bins, a_bins, 8.0, 8.0);
-        // Governor axis ordered coarse-to-fine: small action spaces only
-        // reach the high-frequency presets; the finer low-frequency and
-        // mapping actions (where the MTTF gains live) appear as the space
-        // grows — the paper's "finer control on the temperature".
-        let mappings = assignment_presets(6, 4);
-        let governors = [
-            GovernorKind::Ondemand,
-            GovernorKind::Performance,
-            GovernorKind::Conservative,
-            GovernorKind::Userspace(4),
-            GovernorKind::Userspace(3),
-            GovernorKind::Userspace(2),
-        ];
-        cfg.action_space =
-            Some(ActionSpace::cartesian(&mappings, &governors).truncated(n_actions));
-        cfg.opp_table = OppTable::intel_quad();
-        let scenario = Scenario::single(app.clone());
-        let (out, tel) = run_instrumented(&scenario, cfg, &default_sim(), seed);
-        let s = out.reliability_summary();
-        (n_states, n_actions, tel, s)
-    });
+}
+
+/// Renders Figure 8: mean convergence iterations and mean MTTF per
+/// (states, actions) pair.
+pub fn figure8_render(report: &CampaignReport<CellOutcome>) -> Table {
     let mut table = Table::with_columns(&[
         "States",
         "Actions",
@@ -606,20 +711,30 @@ pub fn figure8() -> Table {
         "TC-MTTF (y, mean)",
         "Age-MTTF (y, mean)",
     ]);
-    for &ns in &sizes {
-        for &na in &sizes {
-            let group: Vec<_> = raw
-                .iter()
-                .filter(|(s, a, _, _)| *s == ns && *a == na)
+    for ns in FIGURE8_SIZES {
+        for na in FIGURE8_SIZES {
+            let group: Vec<&CellOutcome> = (0..FIGURE8_REPS)
+                .map(|rep| report.payload(&format!("fig8/s{ns}-a{na}/{rep}")))
                 .collect();
             let n = group.len() as f64;
             let iters = group
                 .iter()
-                .map(|(_, _, t, _)| t.convergence_epoch.unwrap_or(t.epochs) as f64)
+                .map(|c| {
+                    let t = c.telemetry();
+                    t.convergence_epoch.unwrap_or(t.epochs) as f64
+                })
                 .sum::<f64>()
                 / n;
-            let tc = group.iter().map(|(_, _, _, s)| s.mttf_cycling_years).sum::<f64>() / n;
-            let age = group.iter().map(|(_, _, _, s)| s.mttf_aging_years).sum::<f64>() / n;
+            let tc = group
+                .iter()
+                .map(|c| c.outcome.reliability_summary().mttf_cycling_years)
+                .sum::<f64>()
+                / n;
+            let age = group
+                .iter()
+                .map(|c| c.outcome.reliability_summary().mttf_aging_years)
+                .sum::<f64>()
+                / n;
             table.row(vec![
                 ns.to_string(),
                 na.to_string(),
@@ -632,32 +747,38 @@ pub fn figure8() -> Table {
     table
 }
 
+/// Regenerates Figure 8 as a standalone campaign.
+pub fn figure8() -> Table {
+    figure8_render(&run_experiment("fig8", figure8_jobs))
+}
+
 // ---------------------------------------------------------------------
 // Table 3 & Figure 9 — execution time, power and energy.
 // ---------------------------------------------------------------------
 
-/// Regenerates Table 3 (execution times) and Figure 9 (average dynamic
-/// power & energy), plus the §6.5 leakage-energy estimate, from one set
-/// of runs.
-pub fn table3_figure9() -> (Table, Table) {
-    let apps = [
+fn table3_apps() -> [(&'static str, AppModel); 3] {
+    [
         ("tachyon", alpbench::tachyon(DataSet::One)),
         ("mpeg_dec", alpbench::mpeg_dec(DataSet::One)),
         ("mpeg_enc", alpbench::mpeg_enc(DataSet::One)),
-    ];
-    let cells: Vec<(&str, AppModel, Policy)> = apps
-        .iter()
-        .flat_map(|(name, app)| {
-            Policy::table3()
-                .into_iter()
-                .map(move |p| (*name, app.clone(), p))
-        })
-        .collect();
-    let runs = par_map(cells, |(name, app, p)| {
-        let out = run_cell(&app, p, SEED);
-        (name, p, out)
-    });
+    ]
+}
 
+/// Pushes Table 3 / Figure 9: three applications × six policies.
+pub fn table3_figure9_jobs(campaign: &mut Campaign<CellOutcome>) {
+    for (name, app) in table3_apps() {
+        for p in Policy::table3() {
+            campaign.push(
+                format!("table3/{name}/{}/0", p.slug()),
+                policy_job(Scenario::single(app.clone()), p),
+            );
+        }
+    }
+}
+
+/// Renders Table 3 (execution times) and Figure 9 (average dynamic power
+/// & energy) from the same cells.
+pub fn table3_figure9_render(report: &CampaignReport<CellOutcome>) -> (Table, Table) {
     let mut t3 = Table::with_columns(&[
         "App",
         "ondemand",
@@ -674,14 +795,12 @@ pub fn table3_figure9() -> (Table, Table) {
         "Dyn energy (kJ)",
         "Static energy (kJ)",
     ]);
-    for (name, _) in &apps {
+    for (name, _) in table3_apps() {
         let mut row = vec![name.to_string()];
         for p in Policy::table3() {
-            let out = &runs
-                .iter()
-                .find(|(n, q, _)| n == name && *q == p)
-                .expect("cell present")
-                .2;
+            let out = &report
+                .payload(&format!("table3/{name}/{}/0", p.slug()))
+                .outcome;
             row.push(num(out.total_time, 0));
             f9.row(vec![
                 name.to_string(),
@@ -696,57 +815,64 @@ pub fn table3_figure9() -> (Table, Table) {
     (t3, f9)
 }
 
+/// Regenerates Table 3 and Figure 9 as a standalone campaign.
+pub fn table3_figure9() -> (Table, Table) {
+    table3_figure9_render(&run_experiment("table3", table3_figure9_jobs))
+}
+
 // ---------------------------------------------------------------------
 // Ablations (DESIGN.md §5).
 // ---------------------------------------------------------------------
 
-/// Ablation study of the paper's design choices on mpeg_dec + tachyon:
-/// sampling/epoch decoupling, the dual Q-table, and the Gaussian reward
-/// weights.
-pub fn ablations() -> Table {
-    #[derive(Clone, Copy, Debug)]
-    enum Variant {
-        Full,
-        NoDecoupling,
-        NoThermalReward,
-    }
-    let apps = [
+const ABLATION_VARIANTS: [(&str, &str); 3] = [
+    ("full", "Full"),
+    ("no-decoupling", "NoDecoupling"),
+    ("no-thermal-reward", "NoThermalReward"),
+];
+
+fn ablation_apps() -> [(&'static str, AppModel); 2] {
+    [
         ("tachyon-2", alpbench::tachyon(DataSet::Two)),
         ("mpeg_dec-1", alpbench::mpeg_dec(DataSet::One)),
-    ];
-    let variants = [Variant::Full, Variant::NoDecoupling, Variant::NoThermalReward];
-    let cells: Vec<(&str, AppModel, Variant)> = apps
-        .iter()
-        .flat_map(|(n, a)| variants.iter().map(move |v| (*n, a.clone(), *v)))
-        .collect();
-    let runs = par_map(cells, |(name, app, v)| {
-        let mut cfg = ControlConfig::default();
-        match v {
-            Variant::Full => {}
-            Variant::NoDecoupling => {
-                // Decide on every 3 s sample, like prior RL managers: the
-                // window degenerates to one instantaneous reading (no
-                // cycling visibility) and actions churn 10x more often.
-                cfg.epoch_samples = 1;
-            }
-            Variant::NoThermalReward => {
-                // Ablate the thermal term of Eq. 8 entirely: the agent
-                // optimises the performance constraint alone.
-                cfg.reward.importance_hi = 0.0;
-                cfg.reward.importance_lo = 0.0;
-            }
+    ]
+}
+
+fn ablation_config(variant: &str) -> ControlConfig {
+    let mut cfg = ControlConfig::default();
+    match variant {
+        "full" => {}
+        "no-decoupling" => {
+            // Decide on every 3 s sample, like prior RL managers: the
+            // window degenerates to one instantaneous reading (no
+            // cycling visibility) and actions churn 10x more often.
+            cfg.epoch_samples = 1;
         }
-        let scenario = Scenario::single(app);
-        let (out, _tel) = run_instrumented(&scenario, cfg, &default_sim(), SEED);
-        let s = out.reliability_summary();
-        (
-            name,
-            format!("{v:?}"),
-            s.mttf_cycling_years,
-            s.mttf_aging_years,
-            out.total_time,
-        )
-    });
+        "no-thermal-reward" => {
+            // Ablate the thermal term of Eq. 8 entirely: the agent
+            // optimises the performance constraint alone.
+            cfg.reward.importance_hi = 0.0;
+            cfg.reward.importance_lo = 0.0;
+        }
+        other => panic!("unknown ablation variant {other:?}"),
+    }
+    cfg
+}
+
+/// Pushes the ablation study: two applications × three controller
+/// variants (full, no sampling/epoch decoupling, no thermal reward).
+pub fn ablations_jobs(campaign: &mut Campaign<CellOutcome>) {
+    for (name, app) in ablation_apps() {
+        for (slug, _) in ABLATION_VARIANTS {
+            campaign.push(
+                format!("ablations/{name}/{slug}/0"),
+                instrumented_job(Scenario::single(app.clone()), ablation_config(slug)),
+            );
+        }
+    }
+}
+
+/// Renders the ablation table.
+pub fn ablations_render(report: &CampaignReport<CellOutcome>) -> Table {
     let mut table = Table::with_columns(&[
         "App",
         "Variant",
@@ -754,16 +880,27 @@ pub fn ablations() -> Table {
         "Age-MTTF (y)",
         "Exec time (s)",
     ]);
-    for (name, v, tc, age, time) in runs {
-        table.row(vec![
-            name.to_string(),
-            v,
-            num(tc, 2),
-            num(age, 2),
-            num(time, 0),
-        ]);
+    for (name, _) in ablation_apps() {
+        for (slug, label) in ABLATION_VARIANTS {
+            let out = &report
+                .payload(&format!("ablations/{name}/{slug}/0"))
+                .outcome;
+            let s = out.reliability_summary();
+            table.row(vec![
+                name.to_string(),
+                label.to_string(),
+                num(s.mttf_cycling_years, 2),
+                num(s.mttf_aging_years, 2),
+                num(out.total_time, 0),
+            ]);
+        }
     }
     table
+}
+
+/// Regenerates the ablation study as a standalone campaign.
+pub fn ablations() -> Table {
+    ablations_render(&run_experiment("ablations", ablations_jobs))
 }
 
 #[cfg(test)]
@@ -786,8 +923,10 @@ mod tests {
 
     #[test]
     fn instrumented_run_reports_epochs() {
-        let mut cfg = ControlConfig::default();
-        cfg.epoch_samples = 2;
+        let cfg = ControlConfig {
+            epoch_samples: 2,
+            ..ControlConfig::default()
+        };
         let app = AppModel::builder("tiny")
             .threads(6)
             .frames(200)
@@ -796,9 +935,40 @@ mod tests {
             .build()
             .expect("valid");
         let scenario = Scenario::single(app);
-        let mut sim = SimConfig::default();
-        sim.max_sim_time = 60.0;
+        let sim = SimConfig {
+            max_sim_time: 60.0,
+            ..SimConfig::default()
+        };
         let (_out, tel) = run_instrumented(&scenario, cfg, &sim, 1);
         assert!(tel.epochs > 0);
+    }
+
+    #[test]
+    fn every_experiment_contributes_distinct_keys() {
+        // Pushing every experiment into one campaign must not collide —
+        // this is exactly what run_all does.
+        let mut campaign = crate::campaign::new_campaign("all");
+        figure1_jobs(&mut campaign);
+        table2_jobs(&mut campaign);
+        figure3_jobs(&mut campaign, false);
+        figure4_5_jobs(&mut campaign);
+        figure6_jobs(&mut campaign);
+        figure7_jobs(&mut campaign);
+        figure8_jobs(&mut campaign);
+        table3_figure9_jobs(&mut campaign);
+        ablations_jobs(&mut campaign);
+        assert!(
+            campaign.len() > 120,
+            "full evaluation is {} jobs",
+            campaign.len()
+        );
+    }
+
+    #[test]
+    fn max_temp_series_parses_trace_csv() {
+        let csv = "time,temp0,temp1,freq0,freq1,fps\n\
+                   0.000,40.0,45.5,3.40,3.40,30.0\n\
+                   1.000,50.25,42.0,2.40,3.40,30.0\n";
+        assert_eq!(max_temp_series_from_csv(csv), vec![45.5, 50.25]);
     }
 }

@@ -13,6 +13,7 @@
 
 #![deny(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod plot;
 pub mod policy;

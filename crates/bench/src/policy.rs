@@ -67,6 +67,21 @@ impl Policy {
         }
     }
 
+    /// Stable key segment used in campaign job keys (lowercase, no
+    /// spaces — changing these invalidates existing checkpoints).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Policy::LinuxOndemand => "linux",
+            Policy::LinuxPowersave => "powersave",
+            Policy::Linux24GHz => "2.4ghz",
+            Policy::Linux34GHz => "3.4ghz",
+            Policy::UserAssignment => "user-assign",
+            Policy::Ge2011 => "ge",
+            Policy::Ge2011Modified => "ge-mod",
+            Policy::Proposed => "proposed",
+        }
+    }
+
     /// Instantiates the controller with the given seed.
     pub fn build(self, seed: u64) -> Box<dyn ThermalController> {
         match self {
@@ -103,6 +118,25 @@ mod tests {
             let c = p.build(1);
             assert!(!c.name().is_empty());
             assert!(!p.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn slugs_are_unique_and_key_safe() {
+        let all = [
+            Policy::LinuxOndemand,
+            Policy::LinuxPowersave,
+            Policy::Linux24GHz,
+            Policy::Linux34GHz,
+            Policy::UserAssignment,
+            Policy::Ge2011,
+            Policy::Ge2011Modified,
+            Policy::Proposed,
+        ];
+        let slugs: std::collections::HashSet<&str> = all.iter().map(|p| p.slug()).collect();
+        assert_eq!(slugs.len(), all.len(), "slugs must be distinct");
+        for s in slugs {
+            assert!(!s.contains(' ') && !s.contains('/') && !s.contains('\n'));
         }
     }
 

@@ -8,9 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use thermorl_platform::{
-    assignment_presets, CoreClass, GovernorKind, OppTable, ThreadAssignment,
-};
+use thermorl_platform::{assignment_presets, CoreClass, GovernorKind, OppTable, ThreadAssignment};
 
 /// One joint action: a thread assignment plus a governor for all cores
 /// (optionally refined per core on heterogeneous machines).
@@ -121,14 +119,9 @@ impl ActionSpace {
     /// packing the workload onto the efficient cores (cool down the fast
     /// ones) or onto the fast cores (race to idle), with per-core governor
     /// splits that keep the unused class at its floor frequency.
-    pub fn hetero_default(
-        num_threads: usize,
-        classes: &[CoreClass],
-        opps: &OppTable,
-    ) -> Self {
+    pub fn hetero_default(num_threads: usize, classes: &[CoreClass], opps: &OppTable) -> Self {
         let num_cores = classes.len();
-        let mut actions = ActionSpace::paper_default(num_threads, num_cores, opps)
-            .actions;
+        let mut actions = ActionSpace::paper_default(num_threads, num_cores, opps).actions;
         let fast_cores: Vec<usize> = (0..num_cores)
             .filter(|&c| classes[c].freq_scale >= 1.0)
             .collect();

@@ -253,12 +253,13 @@ impl DasDac14Controller {
                 }
                 best
             }
-            None => self
-                .qtable
-                .as_ref()
-                .expect("table exists after on_start")
-                .best_action(state)
-                .0,
+            None => {
+                self.qtable
+                    .as_ref()
+                    .expect("table exists after on_start")
+                    .best_action(state)
+                    .0
+            }
         }
     }
 }
@@ -438,8 +439,10 @@ mod tests {
     }
 
     fn agent() -> DasDac14Controller {
-        let mut cfg = ControlConfig::default();
-        cfg.epoch_samples = 4;
+        let cfg = ControlConfig {
+            epoch_samples: 4,
+            ..ControlConfig::default()
+        };
         let mut a = DasDac14Controller::new(cfg, 3);
         a.on_start(6, 4);
         a
@@ -449,14 +452,12 @@ mod tests {
     fn feed<F: FnMut(u64) -> f64>(a: &mut DasDac14Controller, epochs: usize, mut temp: F) -> u64 {
         let freqs = [3.4; 4];
         let mut decisions = 0;
-        let mut k = 0u64;
-        for _ in 0..epochs * 4 {
+        for k in 0..(epochs * 4) as u64 {
             let t = temp(k);
             let temps = [t, t + 1.0, t - 1.0, t];
             if a.on_sample(&obs(&temps, &freqs, k as f64 * 3.0)).is_some() {
                 decisions += 1;
             }
-            k += 1;
         }
         decisions
     }
@@ -509,9 +510,11 @@ mod tests {
 
     #[test]
     fn detection_can_be_disabled() {
-        let mut cfg = ControlConfig::default();
-        cfg.epoch_samples = 4;
-        cfg.detect_changes = false;
+        let cfg = ControlConfig {
+            epoch_samples: 4,
+            detect_changes: false,
+            ..ControlConfig::default()
+        };
         let mut a = DasDac14Controller::new(cfg, 3);
         a.on_start(6, 4);
         feed(&mut a, 20, |_| 40.0);
@@ -548,8 +551,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut cfg = ControlConfig::default();
-            cfg.epoch_samples = 4;
+            let cfg = ControlConfig {
+                epoch_samples: 4,
+                ..ControlConfig::default()
+            };
             let mut a = DasDac14Controller::new(cfg, seed);
             a.on_start(6, 4);
             feed(&mut a, 30, |k| 40.0 + (k % 7) as f64);
@@ -560,8 +565,10 @@ mod tests {
 
     #[test]
     fn warm_start_skips_exploration() {
-        let mut cfg = ControlConfig::default();
-        cfg.epoch_samples = 4;
+        let cfg = ControlConfig {
+            epoch_samples: 4,
+            ..ControlConfig::default()
+        };
         // Train a donor agent.
         let mut donor = DasDac14Controller::new(cfg.clone(), 3);
         donor.on_start(6, 4);
@@ -570,7 +577,11 @@ mod tests {
 
         let mut warm = DasDac14Controller::new(cfg, 4).with_warm_start(table.clone(), 0.2);
         warm.on_start(6, 4);
-        assert!(warm.alpha() <= 0.2 + 1e-9, "alpha jumped to {}", warm.alpha());
+        assert!(
+            warm.alpha() <= 0.2 + 1e-9,
+            "alpha jumped to {}",
+            warm.alpha()
+        );
         assert_ne!(
             warm.phase(),
             LearningPhase::Exploration,
@@ -591,8 +602,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid controller configuration")]
     fn invalid_config_panics() {
-        let mut cfg = ControlConfig::default();
-        cfg.gamma = 2.0;
+        let cfg = ControlConfig {
+            gamma: 2.0,
+            ..ControlConfig::default()
+        };
         let _ = DasDac14Controller::new(cfg, 1);
     }
 }

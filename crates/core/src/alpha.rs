@@ -69,7 +69,9 @@ impl AlphaSchedule {
     pub fn new(decay: f64, explore_threshold: f64, exploit_threshold: f64, alpha_exp: f64) -> Self {
         assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
         assert!(
-            0.0 < exploit_threshold && exploit_threshold < explore_threshold && explore_threshold < 1.0,
+            0.0 < exploit_threshold
+                && exploit_threshold < explore_threshold
+                && explore_threshold < 1.0,
             "thresholds must satisfy 0 < exploit < explore < 1"
         );
         AlphaSchedule {

@@ -119,24 +119,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_caught() {
-        let mut c = ControlConfig::default();
-        c.sampling_interval = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = ControlConfig::default();
-        c.epoch_samples = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = ControlConfig::default();
-        c.gamma = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = ControlConfig::default();
-        c.epsilon_scale = -0.1;
-        assert!(c.validate().is_err());
-
-        let mut c = ControlConfig::default();
-        c.stability_epochs = 0;
-        assert!(c.validate().is_err());
+        let bad = |patch: fn(&mut ControlConfig)| {
+            let mut c = ControlConfig::default();
+            patch(&mut c);
+            c
+        };
+        assert!(bad(|c| c.sampling_interval = 0.0).validate().is_err());
+        assert!(bad(|c| c.epoch_samples = 0).validate().is_err());
+        assert!(bad(|c| c.gamma = 1.5).validate().is_err());
+        assert!(bad(|c| c.epsilon_scale = -0.1).validate().is_err());
+        assert!(bad(|c| c.stability_epochs = 0).validate().is_err());
     }
 }

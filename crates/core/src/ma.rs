@@ -123,9 +123,7 @@ impl MovingAverageDetector {
             self.stress_hist.pop_front();
             self.aging_hist.pop_front();
         }
-        let ma = self
-            .current()
-            .expect("history is non-empty after a push");
+        let ma = self.current().expect("history is non-empty after a push");
         let change = match self.prev_ma {
             None => WorkloadChange::None,
             Some((ps, pa)) => {

@@ -271,12 +271,18 @@ mod tests {
     fn read_rejects_malformed_input() {
         assert!(QTable::read_from(&b""[..]).is_err());
         assert!(QTable::read_from(&b"abc def\n"[..]).is_err());
-        assert!(QTable::read_from(&b"2 2\n1 2\n"[..]).is_err(), "missing row");
+        assert!(
+            QTable::read_from(&b"2 2\n1 2\n"[..]).is_err(),
+            "missing row"
+        );
         assert!(
             QTable::read_from(&b"2 2\n1 2 3\n4 5\n"[..]).is_err(),
             "wrong width"
         );
         assert!(QTable::read_from(&b"0 2\n"[..]).is_err(), "empty dims");
-        assert!(QTable::read_from(&b"2 2\n1 x\n3 4\n"[..]).is_err(), "bad number");
+        assert!(
+            QTable::read_from(&b"2 2\n1 x\n3 4\n"[..]).is_err(),
+            "bad number"
+        );
     }
 }

@@ -123,7 +123,6 @@ mod tests {
         StateSpace::new(4, 4, 20.0, 12.0)
     }
 
-
     fn reward_of(stress: f64, aging: f64, p: f64, pc: f64) -> f64 {
         let sp = space();
         let state = sp.identify(stress, aging);

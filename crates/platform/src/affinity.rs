@@ -212,7 +212,10 @@ impl ThreadAssignment {
                     .join("")
             ));
         }
-        assert!(!masks.is_empty(), "assignment must place at least one thread");
+        assert!(
+            !masks.is_empty(),
+            "assignment must place at least one thread"
+        );
         ThreadAssignment {
             name: format!("group[{}]", label.join("|")),
             masks,

@@ -110,9 +110,9 @@ impl GovernorState {
         let current = match kind {
             GovernorKind::Performance => table.max_index(),
             GovernorKind::Powersave => table.min_index(),
-            GovernorKind::Ondemand
-            | GovernorKind::Conservative
-            | GovernorKind::Schedutil => table.min_index(),
+            GovernorKind::Ondemand | GovernorKind::Conservative | GovernorKind::Schedutil => {
+                table.min_index()
+            }
             GovernorKind::Userspace(i) => {
                 assert!(i < table.len(), "userspace OPP index {i} out of range");
                 i
@@ -254,7 +254,7 @@ mod tests {
         let t = table();
         let mut g = GovernorState::new(GovernorKind::Ondemand, &t);
         g.observe(0.1, 1.0, &t); // at 3.4 GHz
-        // 50% utilisation at 3.4 GHz needs >= 3.4*0.5/0.95 = 1.79 GHz → 2.0.
+                                 // 50% utilisation at 3.4 GHz needs >= 3.4*0.5/0.95 = 1.79 GHz → 2.0.
         assert_eq!(g.observe(0.1, 0.5, &t), Some(1));
     }
 
@@ -297,7 +297,11 @@ mod tests {
         g.observe(0.1, 1.0, &t);
         assert_eq!(g.current_index(), t.max_index());
         let idx = g.switch(GovernorKind::Conservative, &t);
-        assert_eq!(idx, t.max_index(), "conservative takes over at current freq");
+        assert_eq!(
+            idx,
+            t.max_index(),
+            "conservative takes over at current freq"
+        );
         let idx = g.switch(GovernorKind::Powersave, &t);
         assert_eq!(idx, 0);
         let idx = g.switch(GovernorKind::Userspace(3), &t);

@@ -323,8 +323,11 @@ impl Machine {
                     sched.core_activity[core],
                     sched.core_busy[core],
                 );
-            core_static_w[core] =
-                scale * self.config.power.leakage(opps[core].voltage, core_temps[core]);
+            core_static_w[core] = scale
+                * self
+                    .config
+                    .power
+                    .leakage(opps[core].voltage, core_temps[core]);
         }
         self.energy.record(dt, &core_dynamic_w, &core_static_w);
         self.time += dt;
@@ -426,7 +429,10 @@ mod tests {
         let ids: Vec<ThreadId> = (0..6).map(|_| m.add_thread(AffinityMask::all(4))).collect();
         let a = ThreadAssignment::packed(&[2, 2, 1, 1]);
         m.apply_assignment(&a);
-        let cores: Vec<usize> = ids.iter().map(|&id| m.scheduler().thread_core(id)).collect();
+        let cores: Vec<usize> = ids
+            .iter()
+            .map(|&id| m.scheduler().thread_core(id))
+            .collect();
         assert_eq!(cores, vec![0, 0, 1, 1, 2, 3]);
     }
 

@@ -68,12 +68,30 @@ impl OppTable {
     /// The 6-point table of the paper's platform: 1.6–3.4 GHz.
     pub fn intel_quad() -> Self {
         OppTable::new(vec![
-            OperatingPoint { freq_ghz: 1.6, voltage: 0.85 },
-            OperatingPoint { freq_ghz: 2.0, voltage: 0.95 },
-            OperatingPoint { freq_ghz: 2.4, voltage: 1.05 },
-            OperatingPoint { freq_ghz: 2.8, voltage: 1.15 },
-            OperatingPoint { freq_ghz: 3.2, voltage: 1.25 },
-            OperatingPoint { freq_ghz: 3.4, voltage: 1.30 },
+            OperatingPoint {
+                freq_ghz: 1.6,
+                voltage: 0.85,
+            },
+            OperatingPoint {
+                freq_ghz: 2.0,
+                voltage: 0.95,
+            },
+            OperatingPoint {
+                freq_ghz: 2.4,
+                voltage: 1.05,
+            },
+            OperatingPoint {
+                freq_ghz: 2.8,
+                voltage: 1.15,
+            },
+            OperatingPoint {
+                freq_ghz: 3.2,
+                voltage: 1.25,
+            },
+            OperatingPoint {
+                freq_ghz: 3.4,
+                voltage: 1.30,
+            },
         ])
     }
 
@@ -172,8 +190,14 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn unsorted_table_rejected() {
         let _ = OppTable::new(vec![
-            OperatingPoint { freq_ghz: 2.0, voltage: 1.0 },
-            OperatingPoint { freq_ghz: 1.0, voltage: 0.9 },
+            OperatingPoint {
+                freq_ghz: 2.0,
+                voltage: 1.0,
+            },
+            OperatingPoint {
+                freq_ghz: 1.0,
+                voltage: 0.9,
+            },
         ]);
     }
 
@@ -185,7 +209,10 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let p = OperatingPoint { freq_ghz: 2.4, voltage: 1.05 };
+        let p = OperatingPoint {
+            freq_ghz: 2.4,
+            voltage: 1.05,
+        };
         assert_eq!(p.to_string(), "2.4 GHz @ 1.05 V");
     }
 }

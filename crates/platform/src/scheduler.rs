@@ -140,7 +140,10 @@ impl Scheduler {
     /// Panics if the configuration has no cores or non-positive periods.
     pub fn new(config: SchedulerConfig, seed: u64) -> Self {
         assert!(config.num_cores > 0, "scheduler needs at least one core");
-        assert!(config.balance_period > 0.0, "balance period must be positive");
+        assert!(
+            config.balance_period > 0.0,
+            "balance period must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&config.cold_efficiency),
             "cold efficiency must be a fraction"
@@ -334,7 +337,11 @@ impl Scheduler {
     ///
     /// Panics if `demands.len() != self.num_threads()` or `dt <= 0`.
     pub fn tick(&mut self, dt: f64, demands: &[ThreadDemand]) -> TickResult {
-        assert_eq!(demands.len(), self.threads.len(), "demand per thread required");
+        assert_eq!(
+            demands.len(),
+            self.threads.len(),
+            "demand per thread required"
+        );
         assert!(dt > 0.0, "tick duration must be positive");
         let n_cores = self.config.num_cores;
 
@@ -476,7 +483,9 @@ mod tests {
     fn balancer_fixes_skewed_load() {
         let mut s = sched(0.0);
         // Pin four threads to core 0, then free them.
-        let ids: Vec<ThreadId> = (0..4).map(|_| s.add_thread(AffinityMask::single(0))).collect();
+        let ids: Vec<ThreadId> = (0..4)
+            .map(|_| s.add_thread(AffinityMask::single(0)))
+            .collect();
         for &id in &ids {
             s.set_affinity(id, AffinityMask::all(4));
         }

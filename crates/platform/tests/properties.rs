@@ -9,10 +9,8 @@ use thermorl_platform::{
 
 fn arb_demands(n: usize) -> impl Strategy<Value = Vec<ThreadDemand>> {
     proptest::collection::vec(
-        (any::<bool>(), 0.0f64..1.0).prop_map(|(runnable, activity)| ThreadDemand {
-            runnable,
-            activity,
-        }),
+        (any::<bool>(), 0.0f64..1.0)
+            .prop_map(|(runnable, activity)| ThreadDemand { runnable, activity }),
         n,
     )
 }

@@ -248,8 +248,9 @@ mod tests {
     #[test]
     fn mixed_profile_is_dominated_by_hot_intervals() {
         let m = AgingModel::default();
-        let half_hot: ThermalProfile =
-            (0..200).map(|i| if i % 2 == 0 { 30.0 } else { 70.0 }).collect();
+        let half_hot: ThermalProfile = (0..200)
+            .map(|i| if i % 2 == 0 { 30.0 } else { 70.0 })
+            .collect();
         let all_cool = ThermalProfile::from_samples(1.0, vec![30.0; 200]);
         let all_hot = ThermalProfile::from_samples(1.0, vec![70.0; 200]);
         let mid = m.mttf_years(&half_hot);

@@ -76,7 +76,10 @@ impl CyclingParams {
     /// Panics if the regime swing does not exceed `t_th` or any parameter
     /// is non-positive.
     pub fn calibrated(b: f64, t_th: f64, ea_ev: f64, regime: ReferenceRegime) -> Self {
-        assert!(b > 0.0 && ea_ev > 0.0 && t_th >= 0.0, "non-physical parameters");
+        assert!(
+            b > 0.0 && ea_ev > 0.0 && t_th >= 0.0,
+            "non-physical parameters"
+        );
         assert!(
             regime.range > t_th,
             "reference swing must exceed the elastic threshold"

@@ -63,7 +63,13 @@ mod tests {
 
     #[test]
     fn integer_factorials() {
-        for (n, f) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (5.0, 24.0), (7.0, 720.0)] {
+        for (n, f) in [
+            (1.0, 1.0),
+            (2.0, 1.0),
+            (3.0, 2.0),
+            (5.0, 24.0),
+            (7.0, 720.0),
+        ] {
             assert!((gamma(n) - f).abs() / f < 1e-12, "gamma({n})");
         }
     }

@@ -71,6 +71,6 @@ mod tests {
     #[test]
     fn constants_sane() {
         assert!((kelvin(26.85) - 300.0).abs() < 1e-9);
-        assert!(SECONDS_PER_YEAR > 3.15e7 && SECONDS_PER_YEAR < 3.17e7);
+        const { assert!(SECONDS_PER_YEAR > 3.15e7 && SECONDS_PER_YEAR < 3.17e7) };
     }
 }

@@ -36,7 +36,10 @@ pub fn damage(params: &CyclingParams, cycles: &[Cycle]) -> f64 {
 ///
 /// Panics if `observed_seconds` is not positive.
 pub fn mttf_years(params: &CyclingParams, cycles: &[Cycle], observed_seconds: f64) -> f64 {
-    assert!(observed_seconds > 0.0, "observation window must be positive");
+    assert!(
+        observed_seconds > 0.0,
+        "observation window must be positive"
+    );
     let d = damage(params, cycles);
     if d == 0.0 {
         f64::INFINITY

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::aging::AgingModel;
 use crate::coffin_manson::CyclingParams;
 use crate::rainflow::RainflowCounter;
-use crate::{SECONDS_PER_YEAR};
+use crate::SECONDS_PER_YEAR;
 
 /// Accumulated statistics of the stream so far.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -279,8 +279,7 @@ mod tests {
         assert!((batch.avg_temp_c - online.avg_temp_c).abs() < 1e-9);
         assert_eq!(batch.peak_temp_c, online.peak_temp_c);
         assert!(
-            (batch.mttf_cycling_years - online.mttf_cycling_years).abs()
-                / batch.mttf_cycling_years
+            (batch.mttf_cycling_years - online.mttf_cycling_years).abs() / batch.mttf_cycling_years
                 < 1e-4
         );
         assert!(

@@ -72,7 +72,10 @@ impl ThermalProfile {
 
     /// Peak (maximum) temperature; `NEG_INFINITY` when empty.
     pub fn peak(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum temperature; `INFINITY` when empty.

@@ -134,9 +134,7 @@ impl RainflowCounter {
                         let last = filtered[filtered.len() - 1];
                         let prev = filtered[filtered.len() - 2];
                         let dir_up = last.value > prev.value;
-                        if (dir_up && r.value >= last.value)
-                            || (!dir_up && r.value <= last.value)
-                        {
+                        if (dir_up && r.value >= last.value) || (!dir_up && r.value <= last.value) {
                             // Monotone continuation: extend the current run.
                             *filtered.last_mut().unwrap() = r;
                         } else if (r.value - last.value).abs() >= self.min_range {

@@ -143,7 +143,9 @@ mod tests {
     use super::*;
 
     fn sine(mean: f64, amp: f64, n: usize) -> ThermalProfile {
-        (0..n).map(|i| mean + amp * (i as f64 * 0.25).sin()).collect()
+        (0..n)
+            .map(|i| mean + amp * (i as f64 * 0.25).sin())
+            .collect()
     }
 
     #[test]

@@ -56,11 +56,7 @@ mod tests {
     #[test]
     fn flat_profile_has_zero_stress() {
         let p = ThermalProfile::from_samples(1.0, vec![45.0; 500]);
-        let s = stress_of_profile(
-            &CyclingParams::default(),
-            &RainflowCounter::default(),
-            &p,
-        );
+        let s = stress_of_profile(&CyclingParams::default(), &RainflowCounter::default(), &p);
         assert_eq!(s, 0.0);
     }
 
@@ -101,11 +97,16 @@ mod tests {
         let params = CyclingParams::default();
         let counter = RainflowCounter::default();
         // Same waveform, both one full repetition set, different dt.
-        let fast = ThermalProfile::from_samples(1.0, sine_profile(10.0, 50.0, 400).samples().to_vec());
-        let slow = ThermalProfile::from_samples(2.0, sine_profile(10.0, 50.0, 400).samples().to_vec());
+        let fast =
+            ThermalProfile::from_samples(1.0, sine_profile(10.0, 50.0, 400).samples().to_vec());
+        let slow =
+            ThermalProfile::from_samples(2.0, sine_profile(10.0, 50.0, 400).samples().to_vec());
         let rf = stress_rate(&params, &counter, &fast);
         let rs = stress_rate(&params, &counter, &slow);
-        assert!((rf / rs - 2.0).abs() < 1e-9, "rate should halve when time doubles");
+        assert!(
+            (rf / rs - 2.0).abs() < 1e-9,
+            "rate should halve when time doubles"
+        );
     }
 
     #[test]

@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 use thermorl_reliability::rainflow::total_cycles;
 use thermorl_reliability::{
-    AgingModel, CyclingParams, OnlineAnalyzer, RainflowCounter, ReliabilityAnalyzer,
-    ThermalProfile,
+    AgingModel, CyclingParams, OnlineAnalyzer, RainflowCounter, ReliabilityAnalyzer, ThermalProfile,
 };
 
 fn arb_profile() -> impl Strategy<Value = ThermalProfile> {

@@ -1,0 +1,311 @@
+//! Incremental JSONL checkpointing.
+//!
+//! Every completed job appends one line to the checkpoint file:
+//!
+//! ```json
+//! {"key":"table2/tachyon-1/linux/0","seed":1234,"status":"ok","payload":{...}}
+//! {"key":"table2/tachyon-1/rl/1","seed":99,"status":"panicked","error":"..."}
+//! {"key":"fig6/rl/3","seed":7,"status":"timeout"}
+//! ```
+//!
+//! Lines record only schedule-independent fields (no durations, no attempt
+//! counts), so a checkpoint sorted by key is byte-identical no matter how
+//! many workers produced it. Loading is last-wins per key, and a corrupt
+//! trailing line (a partial write from an interrupted campaign) is skipped
+//! with a warning rather than aborting the resume.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use thermorl_sim::json::{JsonError, Value};
+
+use crate::job::{JobOutcome, JobRecord};
+
+/// Encodes/decodes the job payload `T` to/from [`Value`].
+///
+/// Plain function pointers (not closures) so a `Codec` is trivially
+/// `Copy` and campaign builders can embed it in configuration.
+pub struct Codec<T> {
+    /// Payload → JSON value.
+    pub encode: fn(&T) -> Value,
+    /// JSON value → payload.
+    pub decode: fn(&Value) -> Result<T, JsonError>,
+}
+
+impl<T> Clone for Codec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Codec<T> {}
+
+impl<T> std::fmt::Debug for Codec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Codec").finish_non_exhaustive()
+    }
+}
+
+/// Renders one record as its checkpoint line (no trailing newline).
+pub fn record_line<T>(record: &JobRecord<T>, codec: &Codec<T>) -> String {
+    let mut obj = Value::object();
+    obj.set("key", Value::Str(record.key.clone()));
+    obj.set("seed", Value::UInt(record.seed));
+    match &record.outcome {
+        JobOutcome::Completed(payload) => {
+            obj.set("status", Value::Str("ok".into()));
+            obj.set("payload", (codec.encode)(payload));
+        }
+        JobOutcome::Panicked(message) => {
+            obj.set("status", Value::Str("panicked".into()));
+            obj.set("error", Value::Str(message.clone()));
+        }
+        JobOutcome::TimedOut => {
+            obj.set("status", Value::Str("timeout".into()));
+        }
+    }
+    obj.to_json()
+}
+
+/// Parses one checkpoint line back into a (resumed) record.
+pub fn parse_line<T>(line: &str, codec: &Codec<T>) -> Result<JobRecord<T>, JsonError> {
+    let value = Value::parse(line)?;
+    let key = value
+        .get("key")
+        .and_then(Value::as_str)
+        .ok_or_else(|| JsonError::new("checkpoint line missing key"))?
+        .to_string();
+    let seed = value
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| JsonError::new("checkpoint line missing seed"))?;
+    let status = value
+        .get("status")
+        .and_then(Value::as_str)
+        .ok_or_else(|| JsonError::new("checkpoint line missing status"))?;
+    let outcome = match status {
+        "ok" => {
+            let payload = value
+                .get("payload")
+                .ok_or_else(|| JsonError::new("ok record missing payload"))?;
+            JobOutcome::Completed((codec.decode)(payload)?)
+        }
+        "panicked" => JobOutcome::Panicked(
+            value
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown panic")
+                .to_string(),
+        ),
+        "timeout" => JobOutcome::TimedOut,
+        other => return Err(JsonError::new(format!("unknown status {other:?}"))),
+    };
+    Ok(JobRecord {
+        key,
+        seed,
+        attempts: 0,
+        duration_ms: 0,
+        resumed: true,
+        outcome,
+    })
+}
+
+/// An append-only checkpoint writer. Each record is flushed as soon as it
+/// is written, so an interrupted campaign loses at most the in-flight line.
+pub struct CheckpointWriter<T> {
+    path: PathBuf,
+    out: BufWriter<File>,
+    codec: Codec<T>,
+}
+
+impl<T> CheckpointWriter<T> {
+    /// Opens `path` for appending (creating it and parent directories as
+    /// needed). If an interrupted campaign left a torn final line with no
+    /// trailing newline, one is added first so the next record starts on
+    /// its own line instead of corrupting the torn one's neighbours.
+    pub fn append(path: &Path, codec: Codec<T>) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let needs_newline = match std::fs::read(path) {
+            Ok(bytes) => !bytes.is_empty() && bytes.last() != Some(&b'\n'),
+            Err(_) => false,
+        };
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if needs_newline {
+            file.write_all(b"\n")?;
+        }
+        Ok(CheckpointWriter {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+            codec,
+        })
+    }
+
+    /// The checkpoint path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends and flushes one record.
+    pub fn write(&mut self, record: &JobRecord<T>) -> std::io::Result<()> {
+        let line = record_line(record, &self.codec);
+        writeln!(self.out, "{line}")?;
+        self.out.flush()
+    }
+}
+
+/// Loads a checkpoint: resumed records in first-seen key order, last
+/// occurrence of each key winning. Returns an empty list if the file does
+/// not exist. Corrupt lines (e.g. a torn final write) are skipped with a
+/// warning on stderr.
+pub fn load<T>(path: &Path, codec: &Codec<T>) -> std::io::Result<Vec<JobRecord<T>>> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let reader = BufReader::new(File::open(path)?);
+    let mut order: Vec<String> = Vec::new();
+    let mut by_key: std::collections::HashMap<String, JobRecord<T>> =
+        std::collections::HashMap::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line, codec) {
+            Ok(record) => {
+                if !by_key.contains_key(&record.key) {
+                    order.push(record.key.clone());
+                }
+                by_key.insert(record.key.clone(), record);
+            }
+            Err(e) => {
+                eprintln!(
+                    "[runner] warning: skipping corrupt checkpoint line {} of {}: {}",
+                    lineno + 1,
+                    path.display(),
+                    e
+                );
+            }
+        }
+    }
+    Ok(order
+        .into_iter()
+        .map(|k| by_key.remove(&k).expect("ordered key present"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u64_codec() -> Codec<u64> {
+        Codec {
+            encode: |v| Value::UInt(*v),
+            decode: |v| v.as_u64().ok_or_else(|| JsonError::new("expected u64")),
+        }
+    }
+
+    fn record(key: &str, seed: u64, outcome: JobOutcome<u64>) -> JobRecord<u64> {
+        JobRecord {
+            key: key.into(),
+            seed,
+            attempts: 1,
+            duration_ms: 12,
+            resumed: false,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn line_round_trips_all_statuses() {
+        let codec = u64_codec();
+        for outcome in [
+            JobOutcome::Completed(7),
+            JobOutcome::Panicked("boom".into()),
+            JobOutcome::TimedOut,
+        ] {
+            let rec = record("a/b/0", u64::MAX - 3, outcome.clone());
+            let line = record_line(&rec, &codec);
+            let back = parse_line(&line, &codec).expect("parse");
+            assert_eq!(back.key, rec.key);
+            assert_eq!(back.seed, rec.seed, "u64 seeds survive exactly");
+            assert_eq!(back.outcome, outcome);
+            assert!(back.resumed);
+            assert_eq!(back.attempts, 0, "schedule fields not checkpointed");
+        }
+    }
+
+    #[test]
+    fn line_excludes_schedule_dependent_fields() {
+        let line = record_line(&record("k", 1, JobOutcome::Completed(2)), &u64_codec());
+        assert!(!line.contains("duration"), "line: {line}");
+        assert!(!line.contains("attempts"), "line: {line}");
+    }
+
+    #[test]
+    fn load_is_last_wins_and_skips_corrupt_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "thermorl-runner-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("campaign.jsonl");
+        let codec = u64_codec();
+        let mut writer = CheckpointWriter::append(&path, codec).expect("open");
+        writer
+            .write(&record("a", 1, JobOutcome::Panicked("first try".into())))
+            .expect("write");
+        writer
+            .write(&record("b", 2, JobOutcome::Completed(20)))
+            .expect("write");
+        writer
+            .write(&record("a", 1, JobOutcome::Completed(10)))
+            .expect("write");
+        drop(writer);
+        // Simulate a torn write from an interrupted campaign.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            write!(f, "{{\"key\":\"c\",\"se").expect("write partial");
+        }
+        let loaded = load(&path, &codec).expect("load");
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].key, "a");
+        assert_eq!(loaded[0].outcome, JobOutcome::Completed(10), "last wins");
+        assert_eq!(loaded[1].key, "b");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_after_torn_tail_starts_on_a_fresh_line() {
+        let dir = std::env::temp_dir().join(format!(
+            "thermorl-runner-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("campaign.jsonl");
+        std::fs::write(&path, "{\"key\":\"torn\",\"se").expect("seed torn tail");
+        let codec = u64_codec();
+        let mut writer = CheckpointWriter::append(&path, codec).expect("open");
+        writer
+            .write(&record("a", 1, JobOutcome::Completed(10)))
+            .expect("write");
+        drop(writer);
+        let loaded = load(&path, &codec).expect("load");
+        assert_eq!(loaded.len(), 1, "record after torn tail must survive");
+        assert_eq!(loaded[0].key, "a");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_empty() {
+        let loaded = load(Path::new("/nonexistent/campaign.jsonl"), &u64_codec()).expect("load");
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Jobs, outcomes and completion records.
+
+use std::sync::Arc;
+
+/// The work function of a job: given the job's derived seed, produce the
+/// payload. Must be safe to call more than once (the runner retries
+/// failed jobs once).
+pub type Work<T> = Arc<dyn Fn(u64) -> T + Send + Sync>;
+
+/// One independent unit of campaign work.
+#[derive(Clone)]
+pub struct Job<T> {
+    /// Unique key within the campaign, e.g. `"table2/tachyon-1/linux/0"`.
+    /// Keys are stable across runs: they address checkpoint records and
+    /// feed the per-job seed derivation.
+    pub key: String,
+    /// The work function.
+    pub work: Work<T>,
+}
+
+impl<T> Job<T> {
+    /// Creates a job from a key and work function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is empty or contains a newline (keys are embedded
+    /// in JSONL checkpoint lines).
+    pub fn new(key: impl Into<String>, work: impl Fn(u64) -> T + Send + Sync + 'static) -> Self {
+        let key = key.into();
+        assert!(!key.is_empty(), "job key must be non-empty");
+        assert!(!key.contains('\n'), "job key must be single-line: {key:?}");
+        Job {
+            key,
+            work: Arc::new(work),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("key", &self.key).finish()
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The work function returned a payload.
+    Completed(T),
+    /// The work function panicked (message captured).
+    Panicked(String),
+    /// The work function exceeded the configured wall-clock timeout.
+    TimedOut,
+}
+
+impl<T> JobOutcome<T> {
+    /// The payload, if the job completed.
+    pub fn payload(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Completed(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the job completed successfully.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// A short human-readable description (payload elided — `T` need not
+    /// be `Debug`).
+    pub fn describe(&self) -> String {
+        match self {
+            JobOutcome::Completed(_) => "completed".to_string(),
+            JobOutcome::Panicked(message) => format!("panicked: {message}"),
+            JobOutcome::TimedOut => "timed out".to_string(),
+        }
+    }
+}
+
+/// The completion record of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord<T> {
+    /// The job's key.
+    pub key: String,
+    /// The derived seed the work function received.
+    pub seed: u64,
+    /// Attempts used (1 = first try; 2 = succeeded/failed on the retry).
+    /// Zero for records restored from a checkpoint.
+    pub attempts: u32,
+    /// Wall-clock duration of the final attempt, in milliseconds. Zero
+    /// for records restored from a checkpoint. Excluded from checkpoint
+    /// lines so checkpoint content is schedule-independent.
+    pub duration_ms: u64,
+    /// Whether this record was restored from a checkpoint instead of run.
+    pub resumed: bool,
+    /// The outcome.
+    pub outcome: JobOutcome<T>,
+}

@@ -1,0 +1,44 @@
+//! thermorl-runner: a parallel, resumable experiment-campaign engine.
+//!
+//! The bench suite reproduces every figure and table of the paper by
+//! running hundreds of independent `(scenario × policy × seed)`
+//! simulations. This crate turns that grid into a **campaign**:
+//!
+//! * [`Campaign`] — a named set of keyed jobs. Each job's seed is a pure
+//!   function of `(campaign_seed, job_key)` (see [`seed::job_seed`]), so
+//!   results are identical no matter how many workers run them or in what
+//!   order.
+//! * [`pool`] — a work-stealing `std::thread` pool with per-job panic
+//!   isolation, optional wall-clock timeouts, and a retry-once policy.
+//! * [`checkpoint`] — incremental JSONL checkpointing of completed jobs;
+//!   [`RunnerConfig::resume`] skips keys that already have records, so an
+//!   interrupted campaign finishes without re-running completed work.
+//! * [`progress`] — throttled stderr progress (done/failed/ETA) and a
+//!   per-job duration histogram exported with the results.
+//!
+//! ```
+//! use thermorl_runner::{Campaign, RunnerConfig};
+//!
+//! let mut campaign = Campaign::new("demo", 42);
+//! for i in 0..8u64 {
+//!     campaign.push(format!("square/{i}"), move |_seed| i * i);
+//! }
+//! let report = campaign.run(&RunnerConfig::serial());
+//! assert_eq!(*report.payload("square/3"), 9);
+//! ```
+
+pub mod campaign;
+pub mod checkpoint;
+pub mod job;
+pub mod pool;
+pub mod progress;
+pub mod seed;
+
+pub use campaign::{
+    run_outcome_codec, scenario_grid, Campaign, CampaignReport, PolicySpec, RunnerConfig,
+};
+pub use checkpoint::Codec;
+pub use job::{Job, JobOutcome, JobRecord};
+pub use pool::{default_workers, par_map};
+pub use progress::CampaignStats;
+pub use seed::job_seed;

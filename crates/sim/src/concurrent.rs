@@ -11,7 +11,7 @@
 
 use thermorl_platform::{AffinityMask, Machine, ThreadDemand};
 use thermorl_reliability::ThermalProfile;
-use thermorl_thermal::{DieModel, Floorplan, SensorBank};
+use thermorl_thermal::{DieModel, SensorBank};
 use thermorl_workload::{AppExecution, AppModel};
 
 use crate::controller::{Observation, ThermalController};
@@ -32,12 +32,7 @@ pub fn run_concurrent(
     assert!(!apps.is_empty(), "need at least one application");
     assert!(config.tick > 0.0, "tick must be positive");
     let num_cores = config.machine.scheduler.num_cores;
-    let floorplan = if num_cores == 4 {
-        Floorplan::quad()
-    } else {
-        Floorplan::grid(num_cores, 1)
-    };
-    let mut die = DieModel::new(floorplan, config.die);
+    let mut die = DieModel::new(crate::engine::floorplan_for(num_cores), config.die);
     let mut machine = Machine::new(config.machine.clone(), seed);
     let mut metrics_sensors = SensorBank::new(num_cores, config.sensor, seed ^ 0x11AA);
     let mut controller_sensors = SensorBank::new(num_cores, config.sensor, seed ^ 0x22BB);
@@ -233,12 +228,7 @@ mod tests {
     #[test]
     fn two_apps_complete_concurrently() {
         let apps = [small("a", 3, 30), small("b", 3, 30)];
-        let out = run_concurrent(
-            &apps,
-            Box::new(NullController::default()),
-            &quick(600.0),
-            1,
-        );
+        let out = run_concurrent(&apps, Box::new(NullController::default()), &quick(600.0), 1);
         assert!(out.completed);
         assert_eq!(out.app_results.len(), 2);
         for r in &out.app_results {
@@ -294,12 +284,17 @@ mod tests {
         let apps = [small("a", 3, 10), small("b", 3, 200)];
         let out = run_concurrent(
             &apps,
-            Box::new(MixSpy { flags: flags.clone() }),
+            Box::new(MixSpy {
+                flags: flags.clone(),
+            }),
             &quick(1200.0),
             1,
         );
         assert!(out.completed);
-        assert!(flags.load(Ordering::Relaxed) >= 1, "mix change must be signalled");
+        assert!(
+            flags.load(Ordering::Relaxed) >= 1,
+            "mix change must be signalled"
+        );
     }
 
     #[test]
@@ -314,6 +309,35 @@ mod tests {
             2,
         );
         assert!(out.completed);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one core")]
+    fn zero_core_config_rejected() {
+        let mut cfg = SimConfig::default();
+        cfg.machine.scheduler.num_cores = 0;
+        let _ = run_concurrent(
+            &[small("a", 2, 10)],
+            Box::new(NullController::default()),
+            &cfg,
+            1,
+        );
+    }
+
+    #[test]
+    fn non_quad_core_count_uses_strip_floorplan() {
+        // 6 cores: run_concurrent must build the same 6×1 strip the
+        // sequential engine uses (and therefore record 6 sensor profiles).
+        let mut cfg = quick(600.0);
+        cfg.machine.scheduler.num_cores = 6;
+        let out = run_concurrent(
+            &[small("a", 3, 20), small("b", 3, 20)],
+            Box::new(NullController::default()),
+            &cfg,
+            1,
+        );
+        assert!(out.completed);
+        assert_eq!(out.sensor_profiles.len(), 6);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod ambient;
 pub mod concurrent;
 pub mod controller;
 pub mod engine;
+pub mod json;
 pub mod metrics;
 pub mod trace;
 

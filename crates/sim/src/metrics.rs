@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use thermorl_platform::CounterSnapshot;
-use thermorl_reliability::{
-    ReliabilityAnalyzer, ReliabilityReport, ThermalProfile,
-};
+use thermorl_reliability::{ReliabilityAnalyzer, ReliabilityReport, ThermalProfile};
 
 /// Per-application results within a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,7 +70,10 @@ pub struct RunOutcome {
 
 impl RunOutcome {
     /// Per-core reliability reports using a custom analyzer.
-    pub fn reliability_reports_with(&self, analyzer: &ReliabilityAnalyzer) -> Vec<ReliabilityReport> {
+    pub fn reliability_reports_with(
+        &self,
+        analyzer: &ReliabilityAnalyzer,
+    ) -> Vec<ReliabilityReport> {
         analyzer.analyze_cores(&self.sensor_profiles)
     }
 
@@ -99,7 +100,10 @@ impl RunOutcome {
         if self.sensor_profiles.is_empty() {
             return 0.0;
         }
-        self.sensor_profiles.iter().map(|p| p.average()).sum::<f64>()
+        self.sensor_profiles
+            .iter()
+            .map(|p| p.average())
+            .sum::<f64>()
             / self.sensor_profiles.len() as f64
     }
 

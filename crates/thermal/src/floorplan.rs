@@ -128,7 +128,9 @@ impl DieParams {
         {
             return Err("capacitances must be positive".into());
         }
-        if self.core_to_spreader <= 0.0 || self.spreader_to_sink <= 0.0 || self.sink_to_ambient <= 0.0
+        if self.core_to_spreader <= 0.0
+            || self.spreader_to_sink <= 0.0
+            || self.sink_to_ambient <= 0.0
         {
             return Err("resistances must be positive".into());
         }
@@ -472,15 +474,14 @@ mod tests {
 
     #[test]
     fn params_validation_rejects_nonphysical() {
-        let mut p = DieParams::default();
-        p.core_capacitance = -1.0;
-        assert!(p.validate().is_err());
-        let mut p = DieParams::default();
-        p.sink_to_ambient = 0.0;
-        assert!(p.validate().is_err());
-        let mut p = DieParams::default();
-        p.sim_dt = 0.0;
-        assert!(p.validate().is_err());
+        let bad = |patch: fn(&mut DieParams)| {
+            let mut p = DieParams::default();
+            patch(&mut p);
+            p
+        };
+        assert!(bad(|p| p.core_capacitance = -1.0).validate().is_err());
+        assert!(bad(|p| p.sink_to_ambient = 0.0).validate().is_err());
+        assert!(bad(|p| p.sim_dt = 0.0).validate().is_err());
         assert!(DieParams::default().validate().is_ok());
     }
 
@@ -499,7 +500,10 @@ mod tests {
         assert!((simple.sink_temperature() - detailed.sink_temperature()).abs() < 1e-6);
         let ds = detailed.core_temperature(0);
         let ss = simple.core_temperature(0);
-        assert!(ds > ss - 2.0 && ds < ss + 15.0, "detailed {ds} vs simple {ss}");
+        assert!(
+            ds > ss - 2.0 && ds < ss + 15.0,
+            "detailed {ds} vs simple {ss}"
+        );
     }
 
     #[test]
@@ -516,10 +520,7 @@ mod tests {
             die.core_temperature(0) - t0
         };
         let simple = step_response(DieModel::quad_core());
-        let detailed = step_response(DieModel::detailed(
-            Floorplan::quad(),
-            DieParams::default(),
-        ));
+        let detailed = step_response(DieModel::detailed(Floorplan::quad(), DieParams::default()));
         assert!(
             detailed > simple,
             "detailed rise {detailed} should beat simple {simple}"

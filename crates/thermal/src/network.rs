@@ -390,7 +390,10 @@ mod tests {
 
     #[test]
     fn build_rejects_empty() {
-        assert_eq!(RcNetworkBuilder::new(20.0).build().unwrap_err(), BuildError::NoNodes);
+        assert_eq!(
+            RcNetworkBuilder::new(20.0).build().unwrap_err(),
+            BuildError::NoNodes
+        );
     }
 
     #[test]

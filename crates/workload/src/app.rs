@@ -108,8 +108,8 @@ impl AppModel {
     pub fn ideal_time(&self, num_cores: usize, freq_ghz: f64) -> f64 {
         match self.sync {
             SyncModel::Barrier => {
-                let par = self.parallel_gcycles * self.num_threads as f64
-                    / (num_cores as f64 * freq_ghz);
+                let par =
+                    self.parallel_gcycles * self.num_threads as f64 / (num_cores as f64 * freq_ghz);
                 let ser = self.serial_gcycles / freq_ghz;
                 (par + ser) * self.total_frames as f64
             }

@@ -35,8 +35,14 @@ struct Item {
 
 #[derive(Debug, Clone, PartialEq)]
 enum ExecState {
-    Barrier { phase: Phase, activity_mult: f64 },
-    Queue { next_frame: usize, items: Vec<Option<Item>> },
+    Barrier {
+        phase: Phase,
+        activity_mult: f64,
+    },
+    Queue {
+        next_frame: usize,
+        items: Vec<Option<Item>>,
+    },
 }
 
 /// Runs an [`AppModel`] frame by frame, tracking progress and performance.
@@ -112,11 +118,7 @@ impl AppExecution {
                         if *next_frame >= self.model.total_frames {
                             break;
                         }
-                        let mult = Self::multiplier(
-                            &self.model,
-                            &mut self.rng,
-                            *next_frame,
-                        );
+                        let mult = Self::multiplier(&self.model, &mut self.rng, *next_frame);
                         *slot = Some(Self::make_item(&self.model, mult));
                         *next_frame += 1;
                     }
@@ -154,7 +156,11 @@ impl AppExecution {
 
     fn fresh_parallel_phase(&mut self) -> (Phase, f64) {
         let mult = Self::multiplier(&self.model, &mut self.rng, self.frames_done);
-        let act_mult = if self.model.modulate_activity { mult } else { 1.0 };
+        let act_mult = if self.model.modulate_activity {
+            mult
+        } else {
+            1.0
+        };
         let per_thread = self.model.parallel_gcycles * mult;
         let phase = if per_thread > 0.0 {
             Phase::Parallel {
@@ -245,7 +251,11 @@ impl AppExecution {
     ///
     /// Panics if `progress.len() != model.num_threads`.
     pub fn advance(&mut self, progress: &[f64], now: f64) {
-        assert_eq!(progress.len(), self.model.num_threads, "progress per thread");
+        assert_eq!(
+            progress.len(),
+            self.model.num_threads,
+            "progress per thread"
+        );
         if self.is_complete() {
             return;
         }
@@ -261,7 +271,9 @@ impl AppExecution {
                         }
                         if remaining.iter().all(|&r| r <= 0.0) {
                             if serial_g > 0.0 {
-                                *phase = Phase::Serial { remaining: serial_g };
+                                *phase = Phase::Serial {
+                                    remaining: serial_g,
+                                };
                             } else {
                                 finished_frame = true;
                             }
@@ -656,7 +668,10 @@ mod tests {
         }
         let min = activities.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = activities.iter().cloned().fold(0.0, f64::max);
-        assert!(max > 0.8, "peak activity should rise with heavy scenes: {max}");
+        assert!(
+            max > 0.8,
+            "peak activity should rise with heavy scenes: {max}"
+        );
         assert!(min < 0.35, "light scenes should switch less: {min}");
     }
 }

@@ -29,7 +29,10 @@ impl Scenario {
     /// Panics if `apps` is empty or thread counts differ between apps (the
     /// simulator reuses one thread pool across the sequence).
     pub fn new(apps: Vec<AppModel>) -> Self {
-        assert!(!apps.is_empty(), "a scenario needs at least one application");
+        assert!(
+            !apps.is_empty(),
+            "a scenario needs at least one application"
+        );
         let threads = apps[0].num_threads;
         assert!(
             apps.iter().all(|a| a.num_threads == threads),

@@ -162,7 +162,10 @@ mod tests {
     fn generator_covers_both_sync_models() {
         let mut g = SyntheticGenerator::new(1);
         let apps = g.apps(100);
-        let queues = apps.iter().filter(|a| a.sync == SyncModel::WorkQueue).count();
+        let queues = apps
+            .iter()
+            .filter(|a| a.sync == SyncModel::WorkQueue)
+            .count();
         assert!(queues > 10 && queues < 90, "{queues} work-queue apps");
     }
 

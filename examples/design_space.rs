@@ -31,11 +31,14 @@ fn main() {
     );
     for (s_bins, a_bins) in [(2, 2), (4, 2), (4, 3)] {
         for n_actions in [4usize, 8, 12] {
-            let mut cfg = ControlConfig::default();
-            cfg.state_space = StateSpace::new(s_bins, a_bins, 8.0, 8.0);
-            cfg.action_space =
-                Some(ActionSpace::cartesian(&mappings, &governors).truncated(n_actions));
-            cfg.opp_table = opps.clone();
+            let cfg = ControlConfig {
+                state_space: StateSpace::new(s_bins, a_bins, 8.0, 8.0),
+                action_space: Some(
+                    ActionSpace::cartesian(&mappings, &governors).truncated(n_actions),
+                ),
+                opp_table: opps.clone(),
+                ..ControlConfig::default()
+            };
             let controller = DasDac14Controller::new(cfg, 42);
             let outcome = run_app(&app, Box::new(controller), &SimConfig::default(), 42);
             let r = outcome.reliability_summary();

@@ -14,7 +14,7 @@ use thermorl::sim::NullController;
 fn main() {
     let mut app = alpbench::tachyon(DataSet::One);
     app.total_frames = 120; // keep the demo quick
-    // The little cores cut peak throughput; relax the constraint to match.
+                            // The little cores cut peak throughput; relax the constraint to match.
     app.perf_constraint_fps *= 0.7;
 
     let mut config = SimConfig::default();

@@ -6,8 +6,8 @@
 //! cargo run --release --example intra_comparison [tachyon|mpeg_dec|mpeg_enc|face_rec|sphinx] [1|2|3]
 //! ```
 
-use thermorl::prelude::*;
 use thermorl::baselines::GeConfig;
+use thermorl::prelude::*;
 use thermorl::sim::ThermalController;
 
 fn main() {

@@ -76,7 +76,12 @@ fn whole_stack_is_deterministic() {
 #[test]
 fn proposed_beats_linux_on_cycling_workload() {
     let config = SimConfig::default();
-    let linux = run_app(&cycling_app(), Box::new(NullController::default()), &config, 3);
+    let linux = run_app(
+        &cycling_app(),
+        Box::new(NullController::default()),
+        &config,
+        3,
+    );
     let das = run_app(
         &cycling_app(),
         Box::new(DasDac14Controller::new(ControlConfig::default(), 3)),
@@ -171,10 +176,8 @@ fn scenario_switch_is_detected_autonomously() {
             self.inner.on_start(t, c);
         }
         fn on_sample(&mut self, obs: &Observation<'_>) -> Option<Actuation> {
-            assert!(
-                !obs.app_switched || true,
-                "spy sees the flag but the inner agent must not need it"
-            );
+            // The spy can see `obs.app_switched`, but the inner agent
+            // must not need it — only forward the observation.
             let act = self.inner.on_sample(obs);
             self.inters
                 .store(self.inner.inter_events(), Ordering::Relaxed);
@@ -207,8 +210,12 @@ fn user_assignment_changes_thread_placement_effects() {
     quick.max_sim_time = 120.0;
     let linux = run_app(&app, Box::new(NullController::default()), &quick, 5);
     let fixed = run_app(&app, Box::new(FixedPolicy::user_assignment()), &quick, 5);
-    assert!(fixed.migrations < linux.migrations,
-        "pinning must reduce migrations: {} vs {}", fixed.migrations, linux.migrations);
+    assert!(
+        fixed.migrations < linux.migrations,
+        "pinning must reduce migrations: {} vs {}",
+        fixed.migrations,
+        linux.migrations
+    );
     // Outcomes differ measurably.
     assert!((fixed.avg_temperature() - linux.avg_temperature()).abs() > 0.1);
 }

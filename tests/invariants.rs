@@ -3,20 +3,20 @@
 
 use proptest::prelude::*;
 
+use thermorl::platform::GovernorKind;
 use thermorl::prelude::*;
 use thermorl::sim::{Actuation, NullController, Observation, ThermalController};
-use thermorl::platform::GovernorKind;
 use thermorl::workload::SyncModel;
 
 fn arb_app() -> impl Strategy<Value = AppModel> {
     (
-        2usize..8,              // threads
-        10usize..60,            // frames
-        0.2f64..4.0,            // parallel gcycles
-        0.0f64..1.5,            // serial gcycles
-        0.3f64..1.0,            // parallel activity
-        0.05f64..0.5,           // serial activity
-        0.0f64..0.3,            // jitter
+        2usize..8,    // threads
+        10usize..60,  // frames
+        0.2f64..4.0,  // parallel gcycles
+        0.0f64..1.5,  // serial gcycles
+        0.3f64..1.0,  // parallel activity
+        0.05f64..0.5, // serial activity
+        0.0f64..0.3,  // jitter
         prop_oneof![Just(SyncModel::Barrier), Just(SyncModel::WorkQueue)],
     )
         .prop_map(|(threads, frames, par, ser, ah, al, jitter, sync)| {

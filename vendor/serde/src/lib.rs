@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — no serde serializer crate (e.g. `serde_json`) is in the
+//! dependency tree, and the checkpoint format used by `thermorl-runner` is
+//! hand-written JSON in `thermorl_sim::json`. This vendored crate therefore
+//! provides the two trait names as blanket markers and re-exports no-op
+//! derive macros, which is exactly the surface the workspace consumes while
+//! building in containers with no access to crates.io.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` namespace subset.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace subset.
+pub mod ser {
+    pub use super::Serialize;
+}
