@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo bench --no-run (benches must compile) =="
+cargo bench --workspace --no-run
+
+echo "== bench_thermal --quick (regenerate perf snapshot) =="
+cargo run --release -q -p thermorl-bench --bin bench_thermal -- --quick
+
 echo "CI OK"

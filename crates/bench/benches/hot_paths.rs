@@ -14,7 +14,7 @@ use thermorl_control::{
 use thermorl_platform::{AffinityMask, CounterSnapshot, Machine, MachineConfig, ThreadDemand};
 use thermorl_reliability::{RainflowCounter, ReliabilityAnalyzer, ThermalProfile};
 use thermorl_sim::{Observation, ThermalController};
-use thermorl_thermal::DieModel;
+use thermorl_thermal::{DieModel, DieParams, Floorplan, Stepper};
 
 fn thermal_profile(n: usize) -> ThermalProfile {
     (0..n)
@@ -24,6 +24,7 @@ fn thermal_profile(n: usize) -> ThermalProfile {
 
 fn bench_thermal(c: &mut Criterion) {
     let mut group = c.benchmark_group("thermal");
+    // The default stepper (Exact since the propagator cache landed).
     group.bench_function("die_advance_1s", |b| {
         let mut die = DieModel::quad_core();
         for core in 0..4 {
@@ -34,6 +35,25 @@ fn bench_thermal(c: &mut Criterion) {
             black_box(die.core_temperature(0))
         });
     });
+    // Each stepper explicitly, for before/after comparisons.
+    for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+        group.bench_function(format!("die_advance_1s_{stepper}"), |b| {
+            let mut die = DieModel::new(
+                Floorplan::quad(),
+                DieParams {
+                    stepper,
+                    ..DieParams::default()
+                },
+            );
+            for core in 0..4 {
+                die.set_core_power(core, 12.0);
+            }
+            b.iter(|| {
+                die.advance(1.0);
+                black_box(die.core_temperature(0))
+            });
+        });
+    }
     group.bench_function("steady_state_lu", |b| {
         let mut die = DieModel::quad_core();
         for core in 0..4 {

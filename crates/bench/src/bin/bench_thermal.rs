@@ -1,0 +1,191 @@
+//! Thermal-solver performance snapshot: measures the `die_advance_1s` hot
+//! path per stepper (with allocation counts) and end-to-end scenario
+//! throughput, and writes the numbers to `BENCH_thermal.json`.
+//!
+//! Flags:
+//! * `--quick` — fewer iterations (CI mode; same JSON shape).
+//! * `--out PATH` — output path (default `BENCH_thermal.json`).
+//!
+//! Timing is manual `Instant`-based sampling (criterion is a
+//! dev-dependency and unavailable to bins): each measurement takes the
+//! median of several repetitions of a timed loop, which is robust to the
+//! occasional scheduler hiccup without criterion's machinery.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use thermorl_sim::json::Value;
+use thermorl_sim::{run_scenario, NullController, SimConfig};
+use thermorl_thermal::{DieModel, DieParams, Floorplan, Stepper};
+use thermorl_workload::{alpbench, DataSet, Scenario};
+
+/// `thermal/die_advance_1s` on the growth seed's dense forward-Euler
+/// solver (fresh `Vec`s per sub-step, O(n²) derivative), measured with the
+/// same workload on the machine that produced the "after" numbers in the
+/// checked-in `BENCH_thermal.json`. The acceptance bar for the CSR +
+/// exact-propagator rework is ≥ 3× against this.
+const SEED_BASELINE_DIE_ADVANCE_1S_NS: f64 = 11660.0;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Median of `reps` timed loops of `iters` calls each, in ns per call.
+fn median_ns_per_iter(mut f: impl FnMut(), iters: u32, reps: u32) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn quad_die(stepper: Stepper) -> DieModel {
+    let mut die = DieModel::new(
+        Floorplan::quad(),
+        DieParams {
+            stepper,
+            ..DieParams::default()
+        },
+    );
+    for core in 0..4 {
+        die.set_core_power(core, 12.0);
+    }
+    die
+}
+
+/// Measures one stepper's `advance(1.0)` cost and its per-advance heap
+/// allocation count in steady state (after a cache-warming advance).
+fn measure_stepper(stepper: Stepper, iters: u32, reps: u32) -> (f64, u64) {
+    let mut die = quad_die(stepper);
+    die.advance(1.0); // warm caches; Exact builds its propagator here
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        die.advance(1.0);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    let ns = median_ns_per_iter(
+        || {
+            die.advance(1.0);
+            std::hint::black_box(die.core_temperature(0));
+        },
+        iters,
+        reps,
+    );
+    (ns, allocs / 100)
+}
+
+/// End-to-end scenario throughput with the default config: simulated
+/// seconds per wall-clock second on a single-app mpeg_dec run.
+fn measure_scenario(max_sim_time: f64) -> (f64, f64) {
+    let sim = SimConfig {
+        max_sim_time,
+        ..SimConfig::default()
+    };
+    let scenario = Scenario::single(alpbench::mpeg_dec(DataSet::One));
+    let t0 = Instant::now();
+    let outcome = run_scenario(&scenario, Box::new(NullController::default()), &sim, 7);
+    let wall_s = t0.elapsed().as_secs_f64();
+    (outcome.total_time, wall_s)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_thermal.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("bench_thermal: unknown flag {other:?}");
+                eprintln!("usage: bench_thermal [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (iters, reps) = if quick { (2_000, 3) } else { (20_000, 7) };
+
+    let mut doc = Value::object();
+    doc.set("bench", Value::Str("bench_thermal".into()));
+    doc.set("quick", Value::Bool(quick));
+    doc.set(
+        "workload",
+        Value::Str("quad-core die, 12 W/core, advance(1.0 s)".into()),
+    );
+
+    let mut baseline = Value::object();
+    baseline.set(
+        "die_advance_1s_ns",
+        Value::num(SEED_BASELINE_DIE_ADVANCE_1S_NS),
+    );
+    baseline.set(
+        "note",
+        Value::Str("growth seed: dense O(n^2) forward Euler with per-step Vec allocations".into()),
+    );
+    doc.set("baseline", baseline);
+
+    let mut steppers = Value::object();
+    let mut default_ns = f64::NAN;
+    for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+        let (ns, allocs) = measure_stepper(stepper, iters, reps);
+        println!("die_advance_1s [{stepper}]: {ns:.0} ns/iter, {allocs} allocs/advance");
+        let mut entry = Value::object();
+        entry.set("die_advance_1s_ns", Value::num(ns));
+        entry.set("allocs_per_advance", Value::UInt(allocs));
+        steppers.set(&stepper.to_string(), entry);
+        if stepper == Stepper::default() {
+            default_ns = ns;
+        }
+    }
+    doc.set("steppers", steppers);
+    doc.set(
+        "default_stepper",
+        Value::Str(Stepper::default().to_string()),
+    );
+    doc.set("die_advance_1s_ns", Value::num(default_ns));
+    let speedup = SEED_BASELINE_DIE_ADVANCE_1S_NS / default_ns;
+    doc.set("speedup_vs_baseline", Value::num(speedup));
+    println!("speedup vs seed baseline: {speedup:.1}x");
+
+    let (sim_s, wall_s) = measure_scenario(if quick { 60.0 } else { 600.0 });
+    let throughput = sim_s / wall_s;
+    println!(
+        "scenario throughput: {throughput:.0} simulated s / wall s ({sim_s:.0} s in {wall_s:.2} s)"
+    );
+    let mut scenario = Value::object();
+    scenario.set("simulated_s", Value::num(sim_s));
+    scenario.set("wall_s", Value::num(wall_s));
+    scenario.set("sim_seconds_per_wall_second", Value::num(throughput));
+    doc.set("scenario", scenario);
+
+    std::fs::write(&out_path, format!("{}\n", doc.to_json())).expect("write bench output");
+    println!("-> {out_path}");
+}

@@ -3,16 +3,21 @@
 //!
 //! Flags: `--workers N` (default: all cores), `--serial`,
 //! `--checkpoint PATH` (default `results/campaign.jsonl`), `--resume`
-//! (skip jobs already in the checkpoint), `--timeout-s N`, `--quiet`.
+//! (skip jobs already in the checkpoint), `--timeout-s N`, `--quiet`,
+//! `--shard I/N` (run only this machine's hash-slice of the jobs; no
+//! rendering — merge the shard checkpoints and `--resume` to render).
+//!
+//! Subcommand: `run_all merge-checkpoints OUT IN...` folds several shard
+//! checkpoints last-wins into one.
 //!
 //! Every job's seed derives from its key, so the rendered results are
-//! identical for any worker count, and a `--resume` after an interruption
-//! matches an uninterrupted run exactly.
+//! identical for any worker count, any sharding, and a `--resume` after
+//! an interruption matches an uninterrupted run exactly.
 
 use std::io::Write;
 use std::time::Instant;
 
-use thermorl_bench::campaign::{assert_no_failures, new_campaign};
+use thermorl_bench::campaign::{assert_no_failures, merge_checkpoints_command, new_campaign};
 use thermorl_bench::experiments as exp;
 use thermorl_runner::RunnerConfig;
 
@@ -28,15 +33,30 @@ fn save(name: &str, content: &str) {
 
 fn main() {
     let t0 = Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge-checkpoints") {
+        match merge_checkpoints_command(&args[1..]) {
+            Ok(n) => {
+                println!("merged {n} record(s) into {}", args[1]);
+                return;
+            }
+            Err(e) => {
+                eprintln!("run_all merge-checkpoints: {e}");
+                eprintln!("usage: run_all merge-checkpoints OUT IN...");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut config = RunnerConfig {
         checkpoint: Some(DEFAULT_CHECKPOINT.into()),
         ..RunnerConfig::default()
     };
-    if let Err(e) = config.apply_cli_args(std::env::args().skip(1), DEFAULT_CHECKPOINT) {
+    if let Err(e) = config.apply_cli_args(args, DEFAULT_CHECKPOINT) {
         eprintln!("run_all: {e}");
         eprintln!(
             "usage: run_all [--workers N] [--serial] [--checkpoint PATH] \
-             [--resume] [--timeout-s N] [--quiet]"
+             [--resume] [--timeout-s N] [--quiet] [--shard I/N]\n\
+             \x20      run_all merge-checkpoints OUT IN..."
         );
         std::process::exit(2);
     }
@@ -54,14 +74,38 @@ fn main() {
     exp::table3_figure9_jobs(&mut campaign);
     exp::ablations_jobs(&mut campaign);
     println!(
-        "campaign: {} jobs on {} worker(s){}",
+        "campaign: {} jobs on {} worker(s){}{}",
         campaign.len(),
         config.workers,
-        if config.resume { " (resuming)" } else { "" }
+        if config.resume { " (resuming)" } else { "" },
+        match config.shard {
+            Some((i, n)) => format!(" (shard {}/{})", i + 1, n),
+            None => String::new(),
+        }
     );
 
     let report = campaign.run(&config);
     assert_no_failures(&report);
+
+    // A shard only holds its slice of the key space, so the renderers
+    // (which need every cell) cannot run. Emit telemetry and point at the
+    // merge + resume path that produces the full tables.
+    if let Some((i, n)) = config.shard {
+        save(
+            &format!("campaign_telemetry_shard{}of{}.json", i + 1, n),
+            &report.telemetry_json(),
+        );
+        println!(
+            "\nshard {}/{} done: {} job(s) in {:.1} min. When all shards have run:\n  \
+             run_all merge-checkpoints {DEFAULT_CHECKPOINT} <shard checkpoints...>\n  \
+             run_all --resume",
+            i + 1,
+            n,
+            report.stats.total(),
+            t0.elapsed().as_secs_f64() / 60.0,
+        );
+        return;
+    }
     save("campaign_telemetry.json", &report.telemetry_json());
 
     println!("[1/9] Figure 1 (motivational)...");

@@ -4,8 +4,13 @@
 //! suite it describes in §6.
 //!
 //! Accepts the shared campaign flags (`--workers`, `--serial`,
-//! `--checkpoint`, `--resume`, `--timeout-s`, `--quiet`).
+//! `--checkpoint`, `--resume`, `--timeout-s`, `--quiet`, `--shard I/N`)
+//! and the `suite merge-checkpoints OUT IN...` subcommand. A sharded
+//! invocation runs and checkpoints its hash-slice of the grid but skips
+//! the table (which needs every cell); merge the shard checkpoints and
+//! rerun with `--resume` to render.
 
+use thermorl_bench::campaign::merge_checkpoints_command;
 use thermorl_bench::table::{num, Table};
 use thermorl_bench::{Policy, SEED};
 use thermorl_runner::{scenario_grid, PolicySpec, RunnerConfig};
@@ -13,11 +18,25 @@ use thermorl_sim::SimConfig;
 use thermorl_workload::{alpbench, DataSet, Scenario};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge-checkpoints") {
+        match merge_checkpoints_command(&args[1..]) {
+            Ok(n) => {
+                println!("merged {n} record(s) into {}", args[1]);
+                return;
+            }
+            Err(e) => {
+                eprintln!("suite merge-checkpoints: {e}");
+                eprintln!("usage: suite merge-checkpoints OUT IN...");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut config = RunnerConfig {
         progress: false,
         ..RunnerConfig::default()
     };
-    if let Err(e) = config.apply_cli_args(std::env::args().skip(1), "results/suite.jsonl") {
+    if let Err(e) = config.apply_cli_args(args, "results/suite.jsonl") {
         eprintln!("suite: {e}");
         std::process::exit(2);
     }
@@ -51,6 +70,18 @@ fn main() {
     .run(&config);
     let failures = report.failures();
     assert!(failures.is_empty(), "suite jobs failed: {failures:?}");
+
+    if let Some((i, n)) = config.shard {
+        println!(
+            "shard {}/{} done: {} job(s) checkpointed. When all shards have run:\n  \
+             suite merge-checkpoints results/suite.jsonl <shard checkpoints...>\n  \
+             suite --resume",
+            i + 1,
+            n,
+            report.stats.total(),
+        );
+        return;
+    }
 
     let mut table = Table::with_columns(&[
         "Application",

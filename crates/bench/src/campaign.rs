@@ -166,6 +166,23 @@ pub fn run_experiment(
     report
 }
 
+/// The `merge-checkpoints OUT IN...` subcommand shared by the campaign
+/// binaries: folds the per-shard JSONL checkpoints into `OUT`, last-wins
+/// per key (later inputs override earlier ones). Returns the number of
+/// distinct keys written, or a usage/IO error message.
+///
+/// # Errors
+///
+/// Fails on missing arguments, unreadable inputs, or an unwritable output.
+pub fn merge_checkpoints_command(args: &[String]) -> Result<usize, String> {
+    if args.len() < 2 {
+        return Err("merge-checkpoints needs OUT and at least one IN path".into());
+    }
+    let out = std::path::PathBuf::from(&args[0]);
+    let inputs: Vec<std::path::PathBuf> = args[1..].iter().map(std::path::PathBuf::from).collect();
+    thermorl_runner::merge_checkpoints(&inputs, &out).map_err(|e| e.to_string())
+}
+
 /// Panics with a readable summary if any job failed (the renderers need
 /// every cell; a partial table would be silently wrong).
 pub fn assert_no_failures(report: &CampaignReport<CellOutcome>) {

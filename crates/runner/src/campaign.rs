@@ -31,6 +31,9 @@ pub struct RunnerConfig {
     pub checkpoint: Option<PathBuf>,
     /// Skip jobs whose keys already have records in the checkpoint.
     pub resume: bool,
+    /// Run only the jobs hashed to shard `.0` of `.1` total shards
+    /// (zero-based; see [`crate::shard_of`]). `None` runs everything.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for RunnerConfig {
@@ -42,6 +45,7 @@ impl Default for RunnerConfig {
             progress: true,
             checkpoint: None,
             resume: false,
+            shard: None,
         }
     }
 }
@@ -60,8 +64,10 @@ impl RunnerConfig {
     /// Applies campaign CLI flags shared by all bench binaries:
     /// `--workers N`, `--serial`, `--checkpoint PATH`, `--resume`
     /// (implies a default checkpoint path if none was set),
-    /// `--timeout-s N`, `--quiet`. Unknown flags are an error so typos
-    /// surface instead of silently running the full campaign.
+    /// `--timeout-s N`, `--quiet`, `--shard I/N` (1-based: `--shard 1/4`
+    /// through `--shard 4/4` partition the campaign across machines).
+    /// Unknown flags are an error so typos surface instead of silently
+    /// running the full campaign.
     pub fn apply_cli_args<I: IntoIterator<Item = String>>(
         &mut self,
         args: I,
@@ -91,6 +97,24 @@ impl RunnerConfig {
                     self.timeout = Some(Duration::from_secs(secs));
                 }
                 "--quiet" => self.progress = false,
+                "--shard" => {
+                    let v = args.next().ok_or("--shard needs a value like 2/4")?;
+                    let (i, n) = v
+                        .split_once('/')
+                        .ok_or_else(|| format!("invalid --shard value {v:?} (expected I/N)"))?;
+                    let i: usize = i
+                        .parse()
+                        .map_err(|_| format!("invalid shard index in {v:?}"))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("invalid shard count in {v:?}"))?;
+                    if n == 0 || i == 0 || i > n {
+                        return Err(format!(
+                            "--shard {v} out of range (expected 1/N through N/N)"
+                        ));
+                    }
+                    self.shard = Some((i - 1, n));
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -177,10 +201,21 @@ impl<T: Send + 'static> Campaign<T> {
         let Campaign {
             name,
             seed,
-            jobs,
+            mut jobs,
             keys: _,
             codec,
         } = self;
+
+        // Sharding: keep only this shard's slice of the key space. Records
+        // from other shards are dropped from resume too, so a shard's
+        // report (and checkpoint) stays self-consistent.
+        if let Some((shard, num_shards)) = config.shard {
+            assert!(
+                shard < num_shards,
+                "shard {shard} out of range for {num_shards} shards"
+            );
+            jobs.retain(|j| crate::shard_of(&j.key, num_shards) == shard);
+        }
 
         // Resume: restore completed records and drop their jobs.
         let mut restored: Vec<JobRecord<T>> = Vec::new();
@@ -395,6 +430,7 @@ pub fn scenario_grid(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobOutcome;
     use thermorl_sim::json::JsonError;
 
     fn u64_codec() -> Codec<u64> {
@@ -474,6 +510,51 @@ mod tests {
 
         let mut bad = RunnerConfig::default();
         assert!(bad.apply_cli_args(["--wrokers".to_string()], "x").is_err());
+    }
+
+    #[test]
+    fn cli_shard_flag_parses_and_validates() {
+        let mut cfg = RunnerConfig::default();
+        cfg.apply_cli_args(["--shard".to_string(), "2/4".to_string()], "x")
+            .expect("parse");
+        assert_eq!(cfg.shard, Some((1, 4)), "CLI is 1-based, stored 0-based");
+
+        for bad in ["0/4", "5/4", "2-4", "x/y", "3/0"] {
+            let mut cfg = RunnerConfig::default();
+            assert!(
+                cfg.apply_cli_args(["--shard".to_string(), bad.to_string()], "x")
+                    .is_err(),
+                "--shard {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_campaign_exactly() {
+        let full = demo_campaign(24).run(&quiet(2));
+        let n = 3;
+        let mut sharded: Vec<(String, u64, JobOutcome<u64>)> = Vec::new();
+        for shard in 0..n {
+            let cfg = RunnerConfig {
+                shard: Some((shard, n)),
+                ..quiet(2)
+            };
+            let report = demo_campaign(24).run(&cfg);
+            assert!(
+                !report.records.is_empty(),
+                "24 jobs over 3 shards should populate every shard"
+            );
+            for r in report.records {
+                sharded.push((r.key, r.seed, r.outcome));
+            }
+        }
+        sharded.sort_by(|a, b| a.0.cmp(&b.0));
+        let full: Vec<_> = full
+            .records
+            .into_iter()
+            .map(|r| (r.key, r.seed, r.outcome))
+            .collect();
+        assert_eq!(sharded, full, "shards must partition without overlap");
     }
 
     #[test]

@@ -198,6 +198,60 @@ pub fn load<T>(path: &Path, codec: &Codec<T>) -> std::io::Result<Vec<JobRecord<T
         .collect())
 }
 
+/// Merges several JSONL checkpoints into `out`, last-wins per key: inputs
+/// are read in the order given and, within each file, top to bottom, so a
+/// record in a later input overrides an earlier one for the same key.
+/// Output preserves first-seen key order. Lines are kept verbatim (no
+/// payload decoding — the merge is codec-free and works on checkpoints of
+/// any payload type). Corrupt or keyless lines are skipped with a warning.
+///
+/// All inputs are read fully before `out` is written, so `out` may safely
+/// be one of the inputs. Returns the number of distinct keys written.
+///
+/// # Errors
+///
+/// Fails if an input cannot be read or the output cannot be written.
+pub fn merge(inputs: &[PathBuf], out: &Path) -> std::io::Result<usize> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_key: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    for path in inputs {
+        let reader = BufReader::new(File::open(path)?);
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let key = Value::parse(&line)
+                .ok()
+                .and_then(|v| v.get("key").and_then(Value::as_str).map(String::from));
+            match key {
+                Some(key) => {
+                    if !by_key.contains_key(&key) {
+                        order.push(key.clone());
+                    }
+                    by_key.insert(key, line);
+                }
+                None => eprintln!(
+                    "[runner] warning: skipping corrupt line {} of {} during merge",
+                    lineno + 1,
+                    path.display()
+                ),
+            }
+        }
+    }
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut writer = BufWriter::new(File::create(out)?);
+    for key in &order {
+        writeln!(writer, "{}", by_key[key])?;
+    }
+    writer.flush()?;
+    Ok(order.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +361,81 @@ mod tests {
     fn load_missing_file_is_empty() {
         let loaded = load(Path::new("/nonexistent/campaign.jsonl"), &u64_codec()).expect("load");
         assert!(loaded.is_empty());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "thermorl-runner-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn merge_is_last_wins_across_files() {
+        let dir = temp_dir("merge");
+        let shard1 = dir.join("shard1.jsonl");
+        let shard2 = dir.join("shard2.jsonl");
+        // shard1 has a stale record for "b" that shard2 supersedes; "junk"
+        // is a corrupt line that must be skipped, not merged or fatal.
+        std::fs::write(
+            &shard1,
+            "{\"key\":\"a\",\"seed\":1,\"status\":\"ok\",\"payload\":10}\n\
+             {\"key\":\"b\",\"seed\":2,\"status\":\"timeout\"}\n\
+             junk line\n",
+        )
+        .expect("write");
+        std::fs::write(
+            &shard2,
+            "{\"key\":\"b\",\"seed\":2,\"status\":\"ok\",\"payload\":20}\n\
+             {\"key\":\"c\",\"seed\":3,\"status\":\"ok\",\"payload\":30}\n",
+        )
+        .expect("write");
+        let out = dir.join("merged.jsonl");
+        let n = merge(&[shard1, shard2], &out).expect("merge");
+        assert_eq!(n, 3);
+        let loaded = load(&out, &u64_codec()).expect("load merged");
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[0].key, "a");
+        assert_eq!(loaded[1].key, "b");
+        assert_eq!(
+            loaded[1].outcome,
+            JobOutcome::Completed(20),
+            "later input wins"
+        );
+        assert_eq!(loaded[2].key, "c");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_output_may_be_an_input() {
+        let dir = temp_dir("merge-inplace");
+        let main = dir.join("main.jsonl");
+        let extra = dir.join("extra.jsonl");
+        std::fs::write(
+            &main,
+            "{\"key\":\"a\",\"seed\":1,\"status\":\"ok\",\"payload\":1}\n",
+        )
+        .expect("write");
+        std::fs::write(
+            &extra,
+            "{\"key\":\"b\",\"seed\":2,\"status\":\"ok\",\"payload\":2}\n",
+        )
+        .expect("write");
+        let n = merge(&[main.clone(), extra], &main).expect("merge in place");
+        assert_eq!(n, 2);
+        let loaded = load(&main, &u64_codec()).expect("load");
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_missing_input_is_an_error() {
+        let dir = temp_dir("merge-missing");
+        let out = dir.join("out.jsonl");
+        assert!(merge(&[dir.join("nope.jsonl")], &out).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

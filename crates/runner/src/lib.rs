@@ -15,6 +15,10 @@
 //!   interrupted campaign finishes without re-running completed work.
 //! * [`progress`] — throttled stderr progress (done/failed/ETA) and a
 //!   per-job duration histogram exported with the results.
+//! * sharding — [`RunnerConfig::shard`] (CLI: `--shard I/N`) hashes job
+//!   keys to shards (see [`seed::shard_of`]) so a campaign can be split
+//!   across machines; [`checkpoint::merge`] then folds the per-shard
+//!   JSONL checkpoints last-wins into one.
 //!
 //! ```
 //! use thermorl_runner::{Campaign, RunnerConfig};
@@ -37,8 +41,8 @@ pub mod seed;
 pub use campaign::{
     run_outcome_codec, scenario_grid, Campaign, CampaignReport, PolicySpec, RunnerConfig,
 };
-pub use checkpoint::Codec;
+pub use checkpoint::{merge as merge_checkpoints, Codec};
 pub use job::{Job, JobOutcome, JobRecord};
 pub use pool::{default_workers, par_map};
 pub use progress::CampaignStats;
-pub use seed::job_seed;
+pub use seed::{job_seed, shard_of};

@@ -39,6 +39,23 @@ pub fn job_seed(campaign_seed: u64, key: &str) -> u64 {
     splitmix64(&mut state)
 }
 
+/// Assigns `key` to one of `num_shards` shards, deterministically.
+///
+/// The shard is a pure function of the key (FNV-1a through a splitmix64
+/// finalizer, modulo `num_shards`), independent of the campaign seed and
+/// of job order — so `--shard 1/4 .. 4/4` invocations partition a campaign
+/// exactly, whichever machines they run on and whatever order jobs were
+/// registered in.
+///
+/// # Panics
+///
+/// Panics if `num_shards` is zero.
+pub fn shard_of(key: &str, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "num_shards must be positive");
+    let mut state = fnv1a(key);
+    (splitmix64(&mut state) % num_shards as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +85,31 @@ mod tests {
         // FNV-1a("") is the offset basis; "a" is a published vector.
         assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn shards_partition_and_balance() {
+        let keys: Vec<String> = (0..400)
+            .map(|i| format!("table2/s{}/rl/{}", i % 10, i))
+            .collect();
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for k in &keys {
+            let s = shard_of(k, n);
+            assert!(s < n);
+            assert_eq!(s, shard_of(k, n), "shard must be deterministic");
+            counts[s] += 1;
+        }
+        // Every shard gets a reasonable share (exact balance not required).
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 50, "shard {i} only got {c} of 400 keys: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        for k in ["a", "b", "some/long/key/7"] {
+            assert_eq!(shard_of(k, 1), 0);
+        }
     }
 }

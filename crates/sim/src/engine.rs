@@ -56,6 +56,16 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Returns the config with the thermal integrator replaced — e.g. to
+    /// pin a run to forward Euler or RK4 for cross-validation against the
+    /// default [`thermorl_thermal::Stepper::Exact`].
+    pub fn with_stepper(mut self, stepper: thermorl_thermal::Stepper) -> Self {
+        self.die.stepper = stepper;
+        self
+    }
+}
+
 /// The die floorplan used for `num_cores` cores: the paper's 2×2 quad for
 /// four cores, a 1×N strip otherwise. Shared by [`Simulation::new`] and
 /// [`crate::run_concurrent`] so both engines simulate the same silicon.

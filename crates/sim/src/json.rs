@@ -27,6 +27,7 @@ use std::fmt;
 
 use thermorl_platform::CounterSnapshot;
 use thermorl_reliability::ThermalProfile;
+use thermorl_thermal::{DieParams, Stepper};
 
 use crate::metrics::{AppResult, RunOutcome};
 
@@ -598,6 +599,50 @@ impl RunOutcome {
     }
 }
 
+/// Encodes [`DieParams`] as a JSON [`Value`] — the thermal-package half of
+/// an experiment config. The stepper is stored under its
+/// [`std::fmt::Display`] name (`"exact"`, `"rk4"`, `"forward-euler"`).
+pub fn die_params_to_json(p: &DieParams) -> Value {
+    let mut v = Value::object();
+    v.set("core_capacitance", Value::num(p.core_capacitance));
+    v.set("core_to_spreader", Value::num(p.core_to_spreader));
+    v.set("lateral_conductance", Value::num(p.lateral_conductance));
+    v.set("spreader_capacitance", Value::num(p.spreader_capacitance));
+    v.set("spreader_to_sink", Value::num(p.spreader_to_sink));
+    v.set("sink_capacitance", Value::num(p.sink_capacitance));
+    v.set("sink_to_ambient", Value::num(p.sink_to_ambient));
+    v.set("ambient", Value::num(p.ambient));
+    v.set("sim_dt", Value::num(p.sim_dt));
+    v.set("stepper", Value::Str(p.stepper.to_string()));
+    v
+}
+
+/// Decodes [`DieParams`] previously produced by [`die_params_to_json`].
+/// A missing `stepper` field falls back to the default ([`Stepper::Exact`]),
+/// so configs written before the exact propagator landed keep loading.
+pub fn die_params_from_json(v: &Value) -> Result<DieParams, JsonError> {
+    let stepper = match v.get("stepper") {
+        None | Some(Value::Null) => Stepper::default(),
+        Some(s) => s
+            .as_str()
+            .ok_or_else(|| JsonError("stepper must be a string".into()))?
+            .parse::<Stepper>()
+            .map_err(JsonError)?,
+    };
+    Ok(DieParams {
+        core_capacitance: get_f64(v, "core_capacitance")?,
+        core_to_spreader: get_f64(v, "core_to_spreader")?,
+        lateral_conductance: get_f64(v, "lateral_conductance")?,
+        spreader_capacitance: get_f64(v, "spreader_capacitance")?,
+        spreader_to_sink: get_f64(v, "spreader_to_sink")?,
+        sink_capacitance: get_f64(v, "sink_capacitance")?,
+        sink_to_ambient: get_f64(v, "sink_to_ambient")?,
+        ambient: get_f64(v, "ambient")?,
+        sim_dt: get_f64(v, "sim_dt")?,
+        stepper,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,5 +750,40 @@ mod tests {
             fields.retain(|(k, _)| k != "total_time");
         }
         assert!(RunOutcome::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn die_params_round_trip_all_steppers() {
+        for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+            let p = DieParams {
+                stepper,
+                sim_dt: 0.02,
+                ambient: 27.5,
+                ..DieParams::default()
+            };
+            let line = die_params_to_json(&p).to_json();
+            let back = die_params_from_json(&Value::parse(&line).expect("parse")).expect("decode");
+            assert_eq!(p, back);
+        }
+    }
+
+    #[test]
+    fn die_params_missing_stepper_defaults_to_exact() {
+        let mut v = die_params_to_json(&DieParams::default());
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "stepper");
+        }
+        let back = die_params_from_json(&v).expect("decode");
+        assert_eq!(back.stepper, Stepper::Exact);
+    }
+
+    #[test]
+    fn die_params_rejects_unknown_stepper() {
+        let mut v = die_params_to_json(&DieParams::default());
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "stepper");
+        }
+        v.set("stepper", Value::Str("leapfrog".into()));
+        assert!(die_params_from_json(&v).is_err());
     }
 }

@@ -92,9 +92,12 @@ pub struct DieParams {
     pub sink_to_ambient: f64,
     /// Ambient temperature (°C).
     pub ambient: f64,
-    /// Internal integration step (s).
+    /// Internal integration step (s). Ignored by [`Stepper::Exact`], which
+    /// covers any advance duration in a single propagator application.
     pub sim_dt: f64,
-    /// Integration scheme.
+    /// Integration scheme. Defaults to [`Stepper::Exact`]: power is
+    /// piecewise constant between simulation ticks, so the cached
+    /// matrix-exponential step is both exact and the fastest option.
     pub stepper: Stepper,
 }
 
@@ -110,7 +113,7 @@ impl Default for DieParams {
             sink_to_ambient: 0.25,
             ambient: AMBIENT_C,
             sim_dt: 0.01,
-            stepper: Stepper::ForwardEuler,
+            stepper: Stepper::Exact,
         }
     }
 }
@@ -467,9 +470,28 @@ mod tests {
     fn unstable_dt_is_rejected() {
         let params = DieParams {
             sim_dt: 10.0,
+            stepper: Stepper::ForwardEuler,
             ..DieParams::default()
         };
         let _ = DieModel::new(Floorplan::quad(), params);
+    }
+
+    #[test]
+    fn exact_stepper_accepts_any_dt() {
+        // The stability bound only constrains forward Euler; the exact
+        // propagator is unconditionally stable.
+        let params = DieParams {
+            sim_dt: 10.0,
+            ..DieParams::default()
+        };
+        let mut die = DieModel::new(Floorplan::quad(), params);
+        for c in 0..4 {
+            die.set_core_power(c, 12.0);
+        }
+        die.advance(600.0);
+        let mut settled = die.clone();
+        settled.settle();
+        assert!((die.core_temperature(0) - settled.core_temperature(0)).abs() < 1e-3);
     }
 
     #[test]
@@ -542,7 +564,7 @@ mod tests {
     }
 
     #[test]
-    fn rk4_die_matches_euler_die() {
+    fn rk4_die_matches_default_die() {
         let params_rk = DieParams {
             stepper: Stepper::Rk4,
             sim_dt: 0.05,

@@ -103,15 +103,106 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `x.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Multiplies `self * x` into a caller-provided buffer, performing no
+    /// heap allocation (the per-step hot path of [`crate::Stepper::Exact`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` have lengths other than `self.dim()`.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(out.len(), self.n);
         for i in 0..self.n {
             let row = &self.data[i * self.n..(i + 1) * self.n];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            out[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
-        y
+    }
+
+    /// Multiplies `self * other` (both `n`×`n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.n, other.n, "matrix dimensions must match");
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self.data[i * n + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_k = &other.data[k * n..(k + 1) * n];
+                let row_out = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in row_out.iter_mut().zip(row_k) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `self` with every entry multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> Matrix {
+        Matrix {
+            n: self.n,
+            data: self.data.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// The infinity norm: maximum absolute row sum.
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.n)
+            .map(|i| {
+                self.data[i * self.n..(i + 1) * self.n]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The matrix exponential `exp(self)` by scaling-and-squaring with a
+    /// Taylor series on the scaled matrix.
+    ///
+    /// The argument is scaled by `2^-s` until its infinity norm is at most
+    /// 0.5, the series is summed to machine precision (it converges in at
+    /// most ~20 terms at that norm), and the result is squared `s` times.
+    /// Used to build the exact one-tick propagator `E = exp(-C⁻¹G·dt)` of
+    /// [`crate::RcNetwork`]; networks are small, so the O(n³) cost is paid
+    /// once per distinct `dt` and amortised over millions of steps.
+    pub fn expm(&self) -> Matrix {
+        let n = self.n;
+        let norm = self.inf_norm();
+        let squarings = if norm > 0.5 {
+            (norm / 0.5).log2().ceil().max(0.0) as u32
+        } else {
+            0
+        };
+        let x = self.scaled(0.5f64.powi(squarings as i32));
+        let mut sum = Matrix::identity(n);
+        let mut term = Matrix::identity(n);
+        for k in 1..=40u32 {
+            term = term.mul(&x).scaled(1.0 / f64::from(k));
+            for (s, t) in sum.data.iter_mut().zip(&term.data) {
+                *s += t;
+            }
+            if term.inf_norm() <= 1e-16 * sum.inf_norm() {
+                break;
+            }
+        }
+        for _ in 0..squarings {
+            sum = sum.mul(&sum);
+        }
+        sum
     }
 
     /// Solves `self * x = b` by LU decomposition with partial pivoting.
@@ -204,28 +295,44 @@ impl Lu {
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the decomposed dimension.
-    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer, performing no heap
+    /// allocation. `out` doubles as the substitution workspace, so `b` and
+    /// `out` must be distinct slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `out.len()` differ from the decomposed
+    /// dimension.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) {
         assert_eq!(b.len(), self.n);
+        assert_eq!(out.len(), self.n);
         let n = self.n;
         // Apply permutation, then forward substitution (L has unit diagonal).
-        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 0..n {
+            out[i] = b[self.perm[i]];
+        }
         for i in 1..n {
-            let mut acc = y[i];
+            let mut acc = out[i];
             for j in 0..i {
-                acc -= self.lu[i * n + j] * y[j];
+                acc -= self.lu[i * n + j] * out[j];
             }
-            y[i] = acc;
+            out[i] = acc;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
-            let mut acc = y[i];
+            let mut acc = out[i];
             for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * y[j];
+                acc -= self.lu[i * n + j] * out[j];
             }
-            y[i] = acc / self.lu[i * n + i];
+            out[i] = acc / self.lu[i * n + i];
         }
-        y
     }
 }
 
@@ -298,6 +405,76 @@ mod tests {
             let x = lu.solve(&b);
             assert_close(&a.mul_vec(&x), &b, 1e-12);
         }
+    }
+
+    #[test]
+    fn mul_vec_into_matches_mul_vec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, -1.0, 4.0], &[2.5, 0.0, 1.0]]);
+        let x = [1.0, -2.0, 0.5];
+        let mut out = [0.0; 3];
+        a.mul_vec_into(&x, &mut out);
+        assert_close(&out, &a.mul_vec(&x), 1e-15);
+    }
+
+    #[test]
+    fn matrix_mul_matches_by_hand() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(c[(0, 1)], 1.0);
+        assert_eq!(c[(1, 0)], 4.0);
+        assert_eq!(c[(1, 1)], 3.0);
+    }
+
+    #[test]
+    fn inf_norm_is_max_row_sum() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.25]]);
+        assert!((a.inf_norm() - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let e = Matrix::zeros(3).expm();
+        assert_eq!(e, Matrix::identity(3));
+    }
+
+    #[test]
+    fn expm_of_diagonal_exponentiates_entries() {
+        let a = Matrix::from_rows(&[&[-2.0, 0.0], &[0.0, 0.5]]);
+        let e = a.expm();
+        assert!((e[(0, 0)] - (-2.0f64).exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - 0.5f64.exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14 && e[(1, 0)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_satisfies_semigroup_property() {
+        // exp(A) · exp(A) == exp(2A) for a non-diagonal stable matrix.
+        let a = Matrix::from_rows(&[&[-3.0, 1.0, 0.5], &[1.0, -2.0, 0.25], &[0.5, 0.25, -4.0]]);
+        let once = a.expm();
+        let twice = once.mul(&once);
+        let direct = a.scaled(2.0).expm();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (twice[(i, j)] - direct[(i, j)]).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    twice[(i, j)],
+                    direct[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let lu = a.lu().unwrap();
+        let b = [5.0, -3.0];
+        let mut out = [0.0; 2];
+        lu.solve_into(&b, &mut out);
+        assert_close(&out, &lu.solve(&b), 1e-15);
     }
 
     #[test]

@@ -9,10 +9,22 @@
 //! ```
 //!
 //! which is exactly the HotSpot-style compact model the DAC'14 paper's
-//! related work builds on. The network supports explicit integration (see
-//! [`crate::stepper`]) and an analytic steady state through LU decomposition.
+//! related work builds on.
+//!
+//! The network is the innermost loop of every simulation, so it is built
+//! for throughput:
+//!
+//! * the conductance graph is stored in CSR form (neighbour lists), so a
+//!   derivative sweep is O(nnz) instead of O(n²);
+//! * every integrator works out of preallocated scratch buffers owned by
+//!   the network — steady-state stepping performs **zero** heap
+//!   allocations (see `tests/zero_alloc.rs`);
+//! * [`Stepper::Exact`] advances a whole step with a single matrix-vector
+//!   product against the cached propagator `E = exp(-C⁻¹G·dt)`, with the
+//!   steady state obtained from an LU factorisation computed once at build
+//!   time (only the right-hand side changes when powers or ambient move).
 
-use crate::linalg::{Matrix, SolveError};
+use crate::linalg::{Lu, Matrix, SolveError};
 use crate::stepper::Stepper;
 
 /// Identifier of a node inside an [`RcNetwork`].
@@ -99,7 +111,10 @@ impl RcNetworkBuilder {
         self.ambient_conductance[n.0] += conductance_w_per_k;
     }
 
-    /// Finalises the network.
+    /// Finalises the network: accumulates duplicate edges, compiles the
+    /// conductance graph to its CSR neighbour representation, factorises
+    /// the steady-state operator once, and preallocates all stepper
+    /// scratch space.
     ///
     /// # Errors
     ///
@@ -111,6 +126,8 @@ impl RcNetworkBuilder {
         if n == 0 {
             return Err(BuildError::NoNodes);
         }
+        // Accumulate duplicate edges into a dense symmetric matrix (build
+        // time only; the steady-state operator needs it anyway for LU).
         let mut g = Matrix::zeros(n);
         for &(a, b, c) in &self.edges {
             g[(a, b)] += c;
@@ -137,15 +154,59 @@ impl RcNetworkBuilder {
                 node: self.names[idx].clone(),
             });
         }
+        // CSR neighbour lists (zero-conductance edges are dropped) and the
+        // total conductance seen by each node (diagonal of the Laplacian).
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut edge_g = Vec::new();
+        let mut diag_g = vec![0.0; n];
+        row_ptr.push(0);
+        for i in 0..n {
+            let mut total = self.ambient_conductance[i];
+            for j in 0..n {
+                let c = g[(i, j)];
+                if c > 0.0 {
+                    col_idx.push(j);
+                    edge_g.push(c);
+                    total += c;
+                }
+            }
+            diag_g[i] = total;
+            row_ptr.push(col_idx.len());
+        }
+        // Steady-state operator A = diag(g_amb + Σg) - G, factorised once.
+        // The floating-node check above guarantees A is an irreducibly
+        // diagonally dominant M-matrix, hence non-singular.
+        let mut a = Matrix::zeros(n);
+        for i in 0..n {
+            a[(i, i)] = diag_g[i];
+            for j in 0..n {
+                if g[(i, j)] > 0.0 {
+                    a[(i, j)] -= g[(i, j)];
+                }
+            }
+        }
+        let lu = a
+            .lu()
+            .expect("grounded RC networks have a non-singular steady-state operator");
         let temperature = vec![self.ambient; n];
         Ok(RcNetwork {
             names: self.names,
             capacitance: self.capacitance,
-            conductance: g,
+            row_ptr,
+            col_idx,
+            edge_g,
+            diag_g,
+            lu,
             ambient_conductance: self.ambient_conductance,
             ambient: self.ambient,
             temperature,
             power: vec![0.0; n],
+            scratch: Workspace::with_len(n),
+            exact: None,
+            steady_dirty: true,
+            propagator_builds: 0,
+            steady_refreshes: 0,
         })
     }
 }
@@ -175,16 +236,75 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Preallocated stepper scratch, so steady-state stepping never touches
+/// the heap. `k1..k4` are the RK4 slopes (`k1` doubles as the Euler slope
+/// and the exact step's output), `tmp` holds intermediate states, `t0` the
+/// step's initial temperatures.
+#[derive(Debug, Clone, Default)]
+struct Workspace {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+    t0: Vec<f64>,
+}
+
+impl Workspace {
+    fn with_len(n: usize) -> Self {
+        Workspace {
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            tmp: vec![0.0; n],
+            t0: vec![0.0; n],
+        }
+    }
+}
+
+/// The cached exact propagator for one step size, plus the steady-state
+/// vector it pivots around. Rebuilt only when `dt` changes; the steady
+/// state is refreshed (one LU solve against the build-time factorisation)
+/// only when powers or ambient have changed since the last exact step.
+#[derive(Debug, Clone)]
+struct ExactCache {
+    dt: f64,
+    /// `E = exp(-C⁻¹A·dt)` where `A` is the full conductance Laplacian.
+    propagator: Matrix,
+    /// Steady-state temperatures for the current `(power, ambient)`.
+    t_ss: Vec<f64>,
+    /// Right-hand side scratch for the steady-state solve.
+    rhs: Vec<f64>,
+}
+
 /// A lumped RC thermal network with per-node power injection.
 #[derive(Debug, Clone)]
 pub struct RcNetwork {
     names: Vec<String>,
     capacitance: Vec<f64>,
-    conductance: Matrix,
+    /// CSR row pointers into `col_idx`/`edge_g` (length `n + 1`).
+    row_ptr: Vec<usize>,
+    /// CSR neighbour indices.
+    col_idx: Vec<usize>,
+    /// CSR edge conductances (W/K), parallel to `col_idx`.
+    edge_g: Vec<f64>,
+    /// Per-node total conductance `g_amb_i + Σ_j g_ij` (the Laplacian
+    /// diagonal; also drives the Gershgorin stability bound).
+    diag_g: Vec<f64>,
+    /// LU factorisation of the steady-state operator, computed at build.
+    lu: Lu,
     ambient_conductance: Vec<f64>,
     ambient: f64,
     temperature: Vec<f64>,
     power: Vec<f64>,
+    scratch: Workspace,
+    exact: Option<ExactCache>,
+    /// Whether `(power, ambient)` changed since the last steady-state
+    /// refresh of the exact cache.
+    steady_dirty: bool,
+    propagator_builds: u64,
+    steady_refreshes: u64,
 }
 
 impl RcNetwork {
@@ -196,6 +316,12 @@ impl RcNetwork {
     /// Whether the network has no nodes (never true for built networks).
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Number of stored directed edges in the CSR conductance graph
+    /// (each undirected conductance is stored twice).
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
     }
 
     /// Name of a node.
@@ -210,7 +336,10 @@ impl RcNetwork {
 
     /// Sets the ambient temperature (°C); takes effect on the next step.
     pub fn set_ambient(&mut self, ambient_c: f64) {
-        self.ambient = ambient_c;
+        if self.ambient != ambient_c {
+            self.ambient = ambient_c;
+            self.steady_dirty = true;
+        }
     }
 
     /// Current temperature of a node (°C).
@@ -235,7 +364,10 @@ impl RcNetwork {
 
     /// Sets the power (W) injected into a node.
     pub fn set_power(&mut self, n: NodeId, watts: f64) {
-        self.power[n.0] = watts;
+        if self.power[n.0] != watts {
+            self.power[n.0] = watts;
+            self.steady_dirty = true;
+        }
     }
 
     /// Power currently injected into a node (W).
@@ -243,88 +375,166 @@ impl RcNetwork {
         self.power[n.0]
     }
 
+    /// How many times the exact propagator has been (re)built — once per
+    /// distinct step size seen by [`Stepper::Exact`]. Diagnostic for cache
+    /// behaviour (tests, benches).
+    pub fn propagator_builds(&self) -> u64 {
+        self.propagator_builds
+    }
+
+    /// How many times the exact stepper refreshed its cached steady state
+    /// (one LU solve, triggered by power/ambient changes). Diagnostic for
+    /// cache behaviour (tests, benches).
+    pub fn steady_refreshes(&self) -> u64 {
+        self.steady_refreshes
+    }
+
     /// Computes the time derivative of all node temperatures (K/s) into
-    /// `out` given the temperatures in `t`.
+    /// `out` given the temperatures in `t`. One O(nnz) CSR sweep:
+    /// `dT_i/dt = (P_i + g_amb_i·T_amb - diag_g_i·T_i + Σ_j g_ij·T_j) / C_i`.
     #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
     fn derivative(&self, t: &[f64], out: &mut [f64]) {
-        let n = self.len();
-        for i in 0..n {
-            let mut q = self.power[i] - self.ambient_conductance[i] * (t[i] - self.ambient);
-            for j in 0..n {
-                let g = self.conductance[(i, j)];
-                if g != 0.0 {
-                    q -= g * (t[i] - t[j]);
-                }
+        for i in 0..self.temperature.len() {
+            let mut q =
+                self.power[i] + self.ambient_conductance[i] * self.ambient - self.diag_g[i] * t[i];
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                q += self.edge_g[k] * t[self.col_idx[k]];
             }
             out[i] = q / self.capacitance[i];
         }
     }
 
-    /// Advances the network by a single explicit step of `dt` seconds.
-    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
-    pub fn step(&mut self, dt: f64, stepper: Stepper) {
+    /// Rebuilds the exact propagator if the cached one was built for a
+    /// different step size (or does not exist yet).
+    fn ensure_exact_cache(&mut self, dt: f64) {
+        if self.exact.as_ref().is_some_and(|c| c.dt == dt) {
+            return;
+        }
         let n = self.len();
+        // M = -dt·C⁻¹A from the CSR graph: row i is scaled by dt/C_i.
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            let scale = dt / self.capacitance[i];
+            m[(i, i)] = -self.diag_g[i] * scale;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                m[(i, self.col_idx[k])] = self.edge_g[k] * scale;
+            }
+        }
+        self.exact = Some(ExactCache {
+            dt,
+            propagator: m.expm(),
+            t_ss: vec![0.0; n],
+            rhs: vec![0.0; n],
+        });
+        self.propagator_builds += 1;
+        self.steady_dirty = true;
+    }
+
+    /// Advances the network by a single step of `dt` seconds.
+    ///
+    /// [`Stepper::Exact`] is exact for any `dt` under piecewise-constant
+    /// power; the explicit steppers discretise and need `dt` within their
+    /// stability/accuracy bounds. No step allocates once the exact
+    /// propagator for `dt` is cached.
+    pub fn step(&mut self, dt: f64, stepper: Stepper) {
+        // The workspace is moved out so its buffers can be borrowed
+        // mutably alongside `&self` (a Vec move, not an allocation).
+        let mut ws = std::mem::take(&mut self.scratch);
         match stepper {
             Stepper::ForwardEuler => {
-                let mut d = vec![0.0; n];
-                self.derivative(&self.temperature.clone(), &mut d);
-                for i in 0..n {
-                    self.temperature[i] += dt * d[i];
+                self.derivative(&self.temperature, &mut ws.k1);
+                for (t, d) in self.temperature.iter_mut().zip(&ws.k1) {
+                    *t += dt * d;
                 }
             }
             Stepper::Rk4 => {
-                let t0 = self.temperature.clone();
-                let mut k1 = vec![0.0; n];
-                let mut k2 = vec![0.0; n];
-                let mut k3 = vec![0.0; n];
-                let mut k4 = vec![0.0; n];
-                let mut tmp = vec![0.0; n];
-                self.derivative(&t0, &mut k1);
-                for i in 0..n {
-                    tmp[i] = t0[i] + 0.5 * dt * k1[i];
+                ws.t0.copy_from_slice(&self.temperature);
+                self.derivative(&ws.t0, &mut ws.k1);
+                for i in 0..ws.t0.len() {
+                    ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k1[i];
                 }
-                self.derivative(&tmp, &mut k2);
-                for i in 0..n {
-                    tmp[i] = t0[i] + 0.5 * dt * k2[i];
+                self.derivative(&ws.tmp, &mut ws.k2);
+                for i in 0..ws.t0.len() {
+                    ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k2[i];
                 }
-                self.derivative(&tmp, &mut k3);
-                for i in 0..n {
-                    tmp[i] = t0[i] + dt * k3[i];
+                self.derivative(&ws.tmp, &mut ws.k3);
+                for i in 0..ws.t0.len() {
+                    ws.tmp[i] = ws.t0[i] + dt * ws.k3[i];
                 }
-                self.derivative(&tmp, &mut k4);
-                for i in 0..n {
-                    self.temperature[i] =
-                        t0[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                self.derivative(&ws.tmp, &mut ws.k4);
+                for i in 0..ws.t0.len() {
+                    self.temperature[i] = ws.t0[i]
+                        + dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
                 }
             }
+            Stepper::Exact => {
+                self.ensure_exact_cache(dt);
+                let mut cache = self.exact.take().expect("cache ensured above");
+                if self.steady_dirty {
+                    for i in 0..cache.rhs.len() {
+                        cache.rhs[i] = self.power[i] + self.ambient_conductance[i] * self.ambient;
+                    }
+                    self.lu.solve_into(&cache.rhs, &mut cache.t_ss);
+                    self.steady_refreshes += 1;
+                    self.steady_dirty = false;
+                }
+                // T(t+dt) = T_ss + E·(T(t) - T_ss)
+                for i in 0..cache.t_ss.len() {
+                    ws.tmp[i] = self.temperature[i] - cache.t_ss[i];
+                }
+                cache.propagator.mul_vec_into(&ws.tmp, &mut ws.k1);
+                for i in 0..cache.t_ss.len() {
+                    self.temperature[i] = cache.t_ss[i] + ws.k1[i];
+                }
+                self.exact = Some(cache);
+            }
         }
+        self.scratch = ws;
     }
 
-    /// Advances by `duration` seconds using fixed sub-steps of `dt`.
+    /// Advances by `duration` seconds.
     ///
-    /// The final partial step (if `duration` is not a multiple of `dt`) is
-    /// taken with the remaining time, so the advance is exact in total time.
+    /// [`Stepper::Exact`] covers the whole duration in a single step (it
+    /// is exact at any step size under piecewise-constant power). The
+    /// explicit steppers take `floor(duration/dt)` full sub-steps (the
+    /// count is computed up front, so `advance(a + b)` performs the same
+    /// step sequence as `advance(a); advance(b)` whenever `a` and `b` are
+    /// multiples of `dt`), then one final partial step with the remainder
+    /// so the advance is exact in total time.
     pub fn advance(&mut self, duration: f64, dt: f64, stepper: Stepper) {
-        let mut remaining = duration;
-        while remaining > 1e-12 {
-            let h = remaining.min(dt);
-            self.step(h, stepper);
-            remaining -= h;
+        if duration <= 0.0 {
+            return;
+        }
+        if stepper == Stepper::Exact {
+            self.step(duration, stepper);
+            return;
+        }
+        let ratio = duration / dt;
+        // Snap to an integer step count when duration is a multiple of dt
+        // up to floating-point rounding, so no spurious 1e-16 s step runs.
+        let steps = if (ratio - ratio.round()).abs() < 1e-9 {
+            ratio.round() as u64
+        } else {
+            ratio.floor() as u64
+        };
+        for _ in 0..steps {
+            self.step(dt, stepper);
+        }
+        let remainder = duration - steps as f64 * dt;
+        if remainder > 1e-12 {
+            self.step(remainder, stepper);
         }
     }
 
     /// Largest forward-Euler step that keeps integration stable, from the
     /// Gershgorin bound on the system's eigenvalues: `dt < 2 / max_i (Σg/C)`.
     pub fn max_stable_dt(&self) -> f64 {
-        let n = self.len();
-        let mut worst: f64 = 0.0;
-        for i in 0..n {
-            let mut g_total = self.ambient_conductance[i];
-            for j in 0..n {
-                g_total += self.conductance[(i, j)];
-            }
-            worst = worst.max(g_total / self.capacitance[i]);
-        }
+        let worst = self
+            .diag_g
+            .iter()
+            .zip(&self.capacitance)
+            .map(|(g, c)| g / c)
+            .fold(0.0, f64::max);
         if worst == 0.0 {
             f64::INFINITY
         } else {
@@ -333,30 +543,22 @@ impl RcNetwork {
     }
 
     /// Analytic steady-state temperatures for the current power vector,
-    /// obtained by solving `G T = P + g_amb T_amb` with LU decomposition.
+    /// solving `A T = P + g_amb T_amb` against the LU factorisation
+    /// computed once at build time.
     ///
     /// # Errors
     ///
-    /// Returns an error if the conductance matrix is singular, which cannot
-    /// happen for networks built through [`RcNetworkBuilder`] (every node is
-    /// grounded to ambient).
+    /// Kept for API stability; networks built through [`RcNetworkBuilder`]
+    /// always factorise successfully (every node is grounded to ambient),
+    /// so this never fails.
     pub fn steady_state(&self) -> Result<Vec<f64>, SolveError> {
-        let n = self.len();
-        let mut a = Matrix::zeros(n);
-        let mut b = vec![0.0; n];
-        for i in 0..n {
-            let mut diag = self.ambient_conductance[i];
-            for j in 0..n {
-                let g = self.conductance[(i, j)];
-                if g != 0.0 {
-                    diag += g;
-                    a[(i, j)] -= g;
-                }
-            }
-            a[(i, i)] += diag;
-            b[i] = self.power[i] + self.ambient_conductance[i] * self.ambient;
-        }
-        a.solve(&b)
+        let b: Vec<f64> = self
+            .power
+            .iter()
+            .zip(&self.ambient_conductance)
+            .map(|(p, g)| p + g * self.ambient)
+            .collect();
+        Ok(self.lu.solve(&b))
     }
 
     /// Jumps the network straight to its steady state for the current powers.
@@ -409,6 +611,21 @@ mod tests {
     }
 
     #[test]
+    fn csr_stores_each_edge_twice_and_drops_zeros() {
+        let mut b = RcNetworkBuilder::new(20.0);
+        let x = b.add_node("x", 1.0);
+        let y = b.add_node("y", 1.0);
+        let z = b.add_node("z", 1.0);
+        b.connect(x, y, 1.5);
+        b.connect(x, y, 0.5); // accumulates onto the same pair
+        b.connect(y, z, 0.0); // dropped
+        b.connect(x, z, 3.0);
+        b.connect_ambient(x, 1.0);
+        let net = b.build().unwrap();
+        assert_eq!(net.nnz(), 4, "two positive undirected edges, stored twice");
+    }
+
+    #[test]
     fn steady_state_matches_hand_computation() {
         let net = two_node();
         let t = net.steady_state().unwrap();
@@ -434,6 +651,97 @@ mod tests {
         let ss = net.steady_state().unwrap();
         for (a, b) in net.temperatures().iter().zip(&ss) {
             assert!((a - b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn exact_converges_to_steady_state() {
+        // Slowest time constant is ~55 s; after 4000 s the transient has
+        // decayed below f64 resolution, so Exact must sit on the LU answer.
+        let mut net = two_node();
+        net.advance(4000.0, 0.05, Stepper::Exact);
+        let ss = net.steady_state().unwrap();
+        for (a, b) in net.temperatures().iter().zip(&ss) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_matches_fine_rk4_on_transient() {
+        let mut exact = two_node();
+        let mut rk = two_node();
+        exact.advance(3.0, 3.0, Stepper::Exact); // one propagator application
+        rk.advance(3.0, 1e-3, Stepper::Rk4); // reference at tiny dt
+        for (a, b) in exact.temperatures().iter().zip(rk.temperatures()) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_step_is_a_semigroup() {
+        // E(a+b)·x == E(b)·E(a)·x: one 2 s step equals two 1 s steps.
+        let mut once = two_node();
+        let mut twice = two_node();
+        once.advance(2.0, 2.0, Stepper::Exact);
+        twice.step(1.0, Stepper::Exact);
+        twice.step(1.0, Stepper::Exact);
+        for (a, b) in once.temperatures().iter().zip(twice.temperatures()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn exact_propagator_cache_invalidates_on_dt_and_ambient() {
+        let mut net = two_node();
+        net.step(0.1, Stepper::Exact);
+        assert_eq!(net.propagator_builds(), 1);
+        assert_eq!(net.steady_refreshes(), 1);
+
+        // Same dt, unchanged powers: both caches hit.
+        net.step(0.1, Stepper::Exact);
+        assert_eq!(net.propagator_builds(), 1);
+        assert_eq!(net.steady_refreshes(), 1);
+
+        // New dt: propagator rebuilt.
+        net.step(0.2, Stepper::Exact);
+        assert_eq!(net.propagator_builds(), 2);
+
+        // Ambient change: steady state refreshed, propagator untouched.
+        let refreshes = net.steady_refreshes();
+        net.set_ambient(30.0);
+        net.step(0.2, Stepper::Exact);
+        assert_eq!(net.propagator_builds(), 2);
+        assert_eq!(net.steady_refreshes(), refreshes + 1);
+
+        // Power change: steady state refreshed again.
+        net.set_power(NodeId(0), 5.0);
+        net.step(0.2, Stepper::Exact);
+        assert_eq!(net.steady_refreshes(), refreshes + 2);
+
+        // Setting the same power/ambient again is a no-op.
+        net.set_power(NodeId(0), 5.0);
+        net.set_ambient(30.0);
+        net.step(0.2, Stepper::Exact);
+        assert_eq!(net.steady_refreshes(), refreshes + 2);
+        assert_eq!(net.propagator_builds(), 2);
+    }
+
+    #[test]
+    fn exact_cache_results_match_cold_network() {
+        // A network whose cache was built under different (dt, ambient,
+        // power) must agree with a fresh one after invalidation.
+        let mut warm = two_node();
+        warm.step(0.5, Stepper::Exact);
+        warm.set_ambient(28.0);
+        warm.set_power(NodeId(0), 4.0);
+        let mut cold = two_node();
+        cold.set_ambient(28.0);
+        cold.set_power(NodeId(0), 4.0);
+        cold.set_temperatures(warm.temperatures());
+        warm.step(1.0, Stepper::Exact);
+        cold.step(1.0, Stepper::Exact);
+        for (a, b) in warm.temperatures().iter().zip(cold.temperatures()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
     }
 
@@ -488,13 +796,46 @@ mod tests {
     }
 
     #[test]
+    fn advance_split_at_dt_multiples_is_bit_identical() {
+        // With the sub-step count computed up front, advance(1.0) and
+        // advance(0.5); advance(0.5) run the exact same step sequence when
+        // the split points are multiples of dt.
+        for stepper in [Stepper::ForwardEuler, Stepper::Rk4] {
+            let mut a = two_node();
+            let mut b = two_node();
+            a.advance(1.0, 0.25, stepper); // 4 full steps
+            b.advance(0.5, 0.25, stepper); // 2 + 2 full steps
+            b.advance(0.5, 0.25, stepper);
+            assert_eq!(
+                a.temperatures(),
+                b.temperatures(),
+                "split advance must be bit-identical for {stepper}"
+            );
+        }
+    }
+
+    #[test]
     fn advance_handles_partial_final_step() {
         let mut a = two_node();
         let mut b = two_node();
         a.advance(1.0, 0.3, Stepper::Rk4); // 0.3+0.3+0.3+0.1
-        b.advance(0.5, 0.3, Stepper::Rk4);
+        b.advance(0.5, 0.3, Stepper::Rk4); // 0.3+0.2, then 0.3+0.2
         b.advance(0.5, 0.3, Stepper::Rk4);
         // Not bit-identical (different step splits) but physically close.
         assert!((a.temperature(NodeId(0)) - b.temperature(NodeId(0))).abs() < 1e-3);
+    }
+
+    #[test]
+    fn advance_near_multiple_does_not_take_spurious_step() {
+        // 0.3 * 3 accumulates to 0.8999999999999999; advance by that
+        // amount with dt = 0.3 must take exactly 3 steps, not 3 + a
+        // ~1e-16 s tail step.
+        let mut a = two_node();
+        let mut b = two_node();
+        a.advance(0.3 + 0.3 + 0.3, 0.3, Stepper::Rk4);
+        for _ in 0..3 {
+            b.step(0.3, Stepper::Rk4);
+        }
+        assert_eq!(a.temperatures(), b.temperatures());
     }
 }

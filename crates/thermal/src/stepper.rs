@@ -1,19 +1,26 @@
-//! Explicit time integrators for RC networks.
+//! Time integrators for RC networks.
 
 use serde::{Deserialize, Serialize};
 
-/// Explicit integration scheme for [`crate::RcNetwork::step`].
+/// Integration scheme for [`crate::RcNetwork::step`].
 ///
-/// Forward Euler is the default used by the co-simulation (the networks are
-/// tiny and the simulation step of 10 ms is far below the stability bound);
-/// RK4 is available for accuracy checks and larger steps.
+/// `Exact` is the default used by the co-simulation: power is piecewise
+/// constant between simulation ticks, so one application of the cached
+/// propagator `E = exp(-C⁻¹G·dt)` advances a full tick with no
+/// discretisation error at any `dt`. Forward Euler and RK4 remain
+/// available for time-varying power *within* a step (where the
+/// piecewise-constant assumption breaks) and as independent references
+/// the property tests validate `Exact` against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Stepper {
     /// First-order explicit Euler: cheap, stable for `dt < max_stable_dt`.
-    #[default]
     ForwardEuler,
     /// Classic fourth-order Runge–Kutta.
     Rk4,
+    /// Exact matrix-exponential step (piecewise-constant power), one
+    /// matrix-vector product per step with a propagator cached per `dt`.
+    #[default]
+    Exact,
 }
 
 impl std::fmt::Display for Stepper {
@@ -21,6 +28,25 @@ impl std::fmt::Display for Stepper {
         match self {
             Stepper::ForwardEuler => write!(f, "forward-euler"),
             Stepper::Rk4 => write!(f, "rk4"),
+            Stepper::Exact => write!(f, "exact"),
+        }
+    }
+}
+
+impl std::str::FromStr for Stepper {
+    type Err = String;
+
+    /// Parses the [`std::fmt::Display`] names (`"euler"` is accepted as an
+    /// alias for `"forward-euler"`), as used by JSON configs and the bench
+    /// binaries' `--stepper` flag.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "forward-euler" | "euler" => Ok(Stepper::ForwardEuler),
+            "rk4" => Ok(Stepper::Rk4),
+            "exact" => Ok(Stepper::Exact),
+            other => Err(format!(
+                "unknown stepper {other:?} (expected exact, rk4 or forward-euler)"
+            )),
         }
     }
 }
@@ -30,13 +56,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_is_euler() {
-        assert_eq!(Stepper::default(), Stepper::ForwardEuler);
+    fn default_is_exact() {
+        assert_eq!(Stepper::default(), Stepper::Exact);
     }
 
     #[test]
     fn display_names() {
         assert_eq!(Stepper::ForwardEuler.to_string(), "forward-euler");
         assert_eq!(Stepper::Rk4.to_string(), "rk4");
+        assert_eq!(Stepper::Exact.to_string(), "exact");
+    }
+
+    #[test]
+    fn from_str_round_trips_display_names() {
+        for s in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+            assert_eq!(s.to_string().parse::<Stepper>(), Ok(s));
+        }
+        assert_eq!("euler".parse::<Stepper>(), Ok(Stepper::ForwardEuler));
+        assert!("leapfrog".parse::<Stepper>().is_err());
     }
 }

@@ -78,21 +78,34 @@ proptest! {
         }
     }
 
-    /// Euler and RK4 agree on slow transients.
+    /// All three steppers agree on slow transients under random powers:
+    /// small-dt RK4 is the reference, and forward Euler (discretisation
+    /// error ~dt) and Exact (no discretisation error) must both land on it.
     #[test]
     fn steppers_agree(p in proptest::collection::vec(0.0f64..20.0, 4)) {
-        let mut euler = die_with_powers(&p);
-        let mut rk = DieModel::new(
-            Floorplan::quad(),
-            DieParams { stepper: Stepper::Rk4, sim_dt: 0.05, ..DieParams::default() },
-        );
-        for (c, &w) in p.iter().enumerate() {
-            rk.set_core_power(c, w);
-        }
-        euler.advance(20.0);
+        let die_with = |stepper: Stepper, sim_dt: f64| {
+            let mut die = DieModel::new(
+                Floorplan::quad(),
+                DieParams { stepper, sim_dt, ..DieParams::default() },
+            );
+            for (c, &w) in p.iter().enumerate() {
+                die.set_core_power(c, w);
+            }
+            die
+        };
+        let mut rk = die_with(Stepper::Rk4, 0.05);
+        let mut euler = die_with(Stepper::ForwardEuler, 0.01);
+        let mut exact = die_with(Stepper::Exact, 0.01);
         rk.advance(20.0);
+        euler.advance(20.0);
+        exact.advance(20.0);
         for (a, b) in euler.core_temperatures().iter().zip(rk.core_temperatures()) {
-            prop_assert!((a - b).abs() < 0.15, "{} vs {}", a, b);
+            prop_assert!((a - b).abs() < 0.15, "euler {} vs rk4 {}", a, b);
+        }
+        // Exact carries no discretisation error, so it tracks the fine RK4
+        // reference an order of magnitude tighter than Euler does.
+        for (a, b) in exact.core_temperatures().iter().zip(rk.core_temperatures()) {
+            prop_assert!((a - b).abs() < 1e-2, "exact {} vs rk4 {}", a, b);
         }
     }
 

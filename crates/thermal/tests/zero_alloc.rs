@@ -1,0 +1,85 @@
+//! Proves the steady-state stepping path performs zero heap allocations.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! advance (which is allowed to build caches), further stepping with any
+//! [`Stepper`] — including with powers changing between ticks, as the
+//! simulation engine does — must not allocate at all.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! so no concurrently running test can pollute the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use thermorl_thermal::{DieModel, DieParams, Floorplan, Stepper};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_stepping_does_not_allocate() {
+    for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+        let mut die = DieModel::new(
+            Floorplan::quad(),
+            DieParams {
+                stepper,
+                ..DieParams::default()
+            },
+        );
+        for c in 0..4 {
+            die.set_core_power(c, 10.0);
+        }
+        // Warm-up: the exact stepper may build its propagator/steady-state
+        // cache here; the explicit steppers are already fully preallocated.
+        die.advance(1.0);
+
+        let n = allocs_during(|| {
+            for _ in 0..100 {
+                die.advance(1.0);
+            }
+        });
+        assert_eq!(n, 0, "{stepper}: steady stepping must not allocate");
+
+        // The engine's real usage: powers change every tick. For Exact this
+        // re-solves the steady state against the cached LU factorisation,
+        // which must also be allocation-free.
+        let n = allocs_during(|| {
+            for i in 0..100u64 {
+                for c in 0..4 {
+                    die.set_core_power(c, 5.0 + (i % 7) as f64 + c as f64);
+                }
+                die.advance(1.0);
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "{stepper}: stepping with changing powers must not allocate"
+        );
+    }
+}
