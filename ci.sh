@@ -10,8 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo build (telemetry compiled out) =="
+cargo build -q -p thermorl-bench --no-default-features
+
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
+
+echo "== telemetry smoke test =="
+cargo test -q -p thermorl-bench --test telemetry_smoke
 
 echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --workspace --no-run

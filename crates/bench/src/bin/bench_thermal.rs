@@ -5,6 +5,15 @@
 //! Flags:
 //! * `--quick` — fewer iterations (CI mode; same JSON shape).
 //! * `--out PATH` — output path (default `BENCH_thermal.json`).
+//! * `--telemetry [PATH]` — record registry metrics during the scenario
+//!   measurement and write the snapshot to PATH (default
+//!   `telemetry.json`). Stepper timings and the disabled-overhead
+//!   entries are always measured before recording is enabled, so the
+//!   headline `die_advance_1s` number stays telemetry-free.
+//!
+//! The output also carries a `telemetry_disabled_overhead` object: the
+//! per-call cost of `counter!`/`span!`/`event!` while recording is off —
+//! one relaxed atomic load and a branch, expected well under 1 ns/op.
 //!
 //! Timing is manual `Instant`-based sampling (criterion is a
 //! dev-dependency and unavailable to bins): each measurement takes the
@@ -17,6 +26,7 @@ use std::time::Instant;
 
 use thermorl_sim::json::Value;
 use thermorl_sim::{run_scenario, NullController, SimConfig};
+use thermorl_telemetry as tel;
 use thermorl_thermal::{DieModel, DieParams, Floorplan, Stepper};
 use thermorl_workload::{alpbench, DataSet, Scenario};
 
@@ -102,6 +112,39 @@ fn measure_stepper(stepper: Stepper, iters: u32, reps: u32) -> (f64, u64) {
     (ns, allocs / 100)
 }
 
+/// Per-call cost of the telemetry macros while recording is off, in
+/// ns/op. Must run before anything enables recording: the whole point is
+/// the price every instrumented call site pays when telemetry is idle.
+fn measure_disabled_overhead() -> (f64, f64, f64) {
+    assert!(
+        !tel::enabled(),
+        "disabled-overhead must be measured before telemetry is enabled"
+    );
+    let (iters, reps) = (1_000_000, 5);
+    let counter_ns = median_ns_per_iter(
+        || {
+            tel::counter!("bench.disabled.counter");
+        },
+        iters,
+        reps,
+    );
+    let span_ns = median_ns_per_iter(
+        || {
+            let _g = tel::span!("bench.disabled.span");
+        },
+        iters,
+        reps,
+    );
+    let event_ns = median_ns_per_iter(
+        || {
+            tel::event!("bench.disabled.event", "unevaluated {}", 1);
+        },
+        iters,
+        reps,
+    );
+    (counter_ns, span_ns, event_ns)
+}
+
 /// End-to-end scenario throughput with the default config: simulated
 /// seconds per wall-clock second on a single-app mpeg_dec run.
 fn measure_scenario(max_sim_time: f64) -> (f64, f64) {
@@ -119,14 +162,21 @@ fn measure_scenario(max_sim_time: f64) -> (f64, f64) {
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_thermal.json");
-    let mut args = std::env::args().skip(1);
+    let mut telemetry: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--telemetry" => {
+                telemetry = Some(match args.peek() {
+                    Some(next) if !next.starts_with("--") => args.next().expect("peeked value"),
+                    _ => "telemetry.json".to_string(),
+                });
+            }
             other => {
                 eprintln!("bench_thermal: unknown flag {other:?}");
-                eprintln!("usage: bench_thermal [--quick] [--out PATH]");
+                eprintln!("usage: bench_thermal [--quick] [--out PATH] [--telemetry [PATH]]");
                 std::process::exit(2);
             }
         }
@@ -175,6 +225,23 @@ fn main() {
     doc.set("speedup_vs_baseline", Value::num(speedup));
     println!("speedup vs seed baseline: {speedup:.1}x");
 
+    let (counter_ns, span_ns, event_ns) = measure_disabled_overhead();
+    println!(
+        "telemetry disabled overhead: counter {counter_ns:.2} ns/op, \
+         span {span_ns:.2} ns/op, event {event_ns:.2} ns/op"
+    );
+    let mut overhead = Value::object();
+    overhead.set("counter_ns", Value::num(counter_ns));
+    overhead.set("span_ns", Value::num(span_ns));
+    overhead.set("event_ns", Value::num(event_ns));
+    doc.set("telemetry_disabled_overhead", overhead);
+
+    // Recording (when requested) starts only now: every timing above is
+    // measured with telemetry off.
+    if telemetry.is_some() {
+        tel::set_enabled(true);
+    }
+    let tel_baseline = tel::snapshot();
     let (sim_s, wall_s) = measure_scenario(if quick { 60.0 } else { 600.0 });
     let throughput = sim_s / wall_s;
     println!(
@@ -185,6 +252,12 @@ fn main() {
     scenario.set("wall_s", Value::num(wall_s));
     scenario.set("sim_seconds_per_wall_second", Value::num(throughput));
     doc.set("scenario", scenario);
+
+    if let Some(path) = &telemetry {
+        let snap = tel::snapshot().since(&tel_baseline);
+        std::fs::write(path, snap.to_json() + "\n").expect("write telemetry output");
+        println!("-> {path}");
+    }
 
     std::fs::write(&out_path, format!("{}\n", doc.to_json())).expect("write bench output");
     println!("-> {out_path}");

@@ -5,7 +5,10 @@
 //! `--checkpoint PATH` (default `results/campaign.jsonl`), `--resume`
 //! (skip jobs already in the checkpoint), `--timeout-s N`, `--quiet`,
 //! `--shard I/N` (run only this machine's hash-slice of the jobs; no
-//! rendering — merge the shard checkpoints and `--resume` to render).
+//! rendering — merge the shard checkpoints and `--resume` to render),
+//! `--telemetry [PATH]` (record registry metrics — span timings, counters,
+//! structured events — and write the snapshot to PATH, default
+//! `telemetry.json`, plus events to the sibling `*.events.jsonl`).
 //!
 //! Subcommand: `run_all merge-checkpoints OUT IN...` folds several shard
 //! checkpoints last-wins into one.
@@ -55,7 +58,8 @@ fn main() {
         eprintln!("run_all: {e}");
         eprintln!(
             "usage: run_all [--workers N] [--serial] [--checkpoint PATH] \
-             [--resume] [--timeout-s N] [--quiet] [--shard I/N]\n\
+             [--resume] [--timeout-s N] [--quiet] [--shard I/N] \
+             [--telemetry [PATH]]\n\
              \x20      run_all merge-checkpoints OUT IN..."
         );
         std::process::exit(2);

@@ -4,8 +4,9 @@
 //! suite it describes in §6.
 //!
 //! Accepts the shared campaign flags (`--workers`, `--serial`,
-//! `--checkpoint`, `--resume`, `--timeout-s`, `--quiet`, `--shard I/N`)
-//! and the `suite merge-checkpoints OUT IN...` subcommand. A sharded
+//! `--checkpoint`, `--resume`, `--timeout-s`, `--quiet`, `--shard I/N`,
+//! `--telemetry [PATH]`) and the `suite merge-checkpoints OUT IN...`
+//! subcommand. A sharded
 //! invocation runs and checkpoints its hash-slice of the grid but skips
 //! the table (which needs every cell); merge the shard checkpoints and
 //! rerun with `--resume` to render.

@@ -5,6 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use thermorl_reliability::ThermalProfile;
 use thermorl_sim::{Actuation, Observation, ThermalController};
+use thermorl_telemetry as tel;
 
 use crate::action::ActionSpace;
 use crate::alpha::{AlphaSchedule, LearningPhase};
@@ -37,6 +38,7 @@ pub struct DasDac14Controller {
     trec: Vec<Vec<f64>>,
     prev: Option<(StateId, usize)>,
     epochs: u64,
+    explore_actions: u64,
     intra_events: u64,
     inter_events: u64,
     last_policy: Vec<usize>,
@@ -97,6 +99,7 @@ impl DasDac14Controller {
             trec: Vec::new(),
             prev: None,
             epochs: 0,
+            explore_actions: 0,
             intra_events: 0,
             inter_events: 0,
             last_policy: Vec::new(),
@@ -154,6 +157,13 @@ impl DasDac14Controller {
         self.alpha.phase()
     }
 
+    /// Decisions taken by exploration (round-robin sweeps plus ε-greedy
+    /// random draws) rather than greedily — `explore_actions / epochs` is
+    /// the agent's exploration ratio.
+    pub fn explore_actions(&self) -> u64 {
+        self.explore_actions
+    }
+
     /// Intra-application adaptations performed.
     pub fn intra_events(&self) -> u64 {
         self.intra_events
@@ -208,7 +218,9 @@ impl DasDac14Controller {
         (stress, aging)
     }
 
-    fn select_action(&mut self, state: StateId) -> usize {
+    /// Picks the next action; the flag reports whether it was exploratory
+    /// (round-robin sweep or ε-greedy random draw) rather than greedy.
+    fn select_action(&mut self, state: StateId) -> (usize, bool) {
         let n = self
             .actions
             .as_ref()
@@ -219,20 +231,22 @@ impl DasDac14Controller {
             // corresponding reward": a round-robin sweep covers every
             // action during the short exploration phase (a uniform draw
             // would leave most of the space unvisited).
-            LearningPhase::Exploration => (self.epochs as usize) % n,
+            LearningPhase::Exploration => ((self.epochs as usize) % n, true),
             _ => {
                 let eps = self.cfg.epsilon_scale * self.alpha.alpha();
                 if self.rng.gen::<f64>() < eps {
-                    self.rng.gen_range(0..n)
+                    (self.rng.gen_range(0..n), true)
                 } else if self.epochs < self.use_static_until {
                     // Intra-adaptation window: act from the static table.
-                    self.best_static_action(state, n)
+                    (self.best_static_action(state, n), false)
                 } else {
-                    self.qtable
+                    let best = self
+                        .qtable
                         .as_ref()
                         .expect("table exists after on_start")
                         .best_action(state)
-                        .0
+                        .0;
+                    (best, false)
                 }
             }
         }
@@ -308,6 +322,7 @@ impl ThermalController for DasDac14Controller {
         }
 
         // ---- A decision epoch has completed. ----
+        let phase_before = self.alpha.phase();
         let (stress, aging) = self.window_hazards(self.cfg.sampling_interval);
 
         // §5.4: classify the moving-average change. Detection is armed
@@ -327,6 +342,9 @@ impl ThermalController for DasDac14Controller {
                     self.prev = None;
                     self.inter_events += 1;
                     self.stable_epochs = 0;
+                    tel::counter!("agent.detect.inter");
+                    tel::event!("detect", "inter");
+                    tel::event!("qtable", "reset");
                 }
                 WorkloadChange::Intra => {
                     // §5.4: "the Q-table [is] updated with the Q values
@@ -343,8 +361,13 @@ impl ThermalController for DasDac14Controller {
                     self.alpha.restore_exp();
                     self.intra_events += 1;
                     self.stable_epochs = 0;
+                    tel::counter!("agent.detect.intra");
+                    tel::event!("detect", "intra");
+                    tel::event!("qtable", "restore");
                 }
-                WorkloadChange::None => {}
+                WorkloadChange::None => {
+                    tel::counter!("agent.detect.none");
+                }
             }
         }
 
@@ -365,12 +388,17 @@ impl ThermalController for DasDac14Controller {
             );
             last_reward = r;
             if let Some(q) = &mut self.qtable {
-                q.update(ps, pa, r, self.alpha.alpha(), self.cfg.gamma, state);
+                let td = q.update(ps, pa, r, self.alpha.alpha(), self.cfg.gamma, state);
+                tel::gauge!("agent.td_error", td);
+                tel::observe!("agent.td_error_abs_1e6", (td.abs() * 1e6) as u64);
             }
         }
 
         // SelectAction + UpdateLearningRate.
-        let action_idx = self.select_action(state);
+        let (action_idx, explored) = self.select_action(state);
+        if explored {
+            self.explore_actions += 1;
+        }
         self.last_decision = Some(EpochDecision {
             stress,
             aging,
@@ -382,12 +410,27 @@ impl ThermalController for DasDac14Controller {
         if self.alpha.step() {
             // End of exploration: take the Q_exp snapshot (§5.4).
             self.q_exp = self.qtable.as_ref().map(|q| q.snapshot());
+            tel::event!("qtable", "snapshot");
         }
+        let prev_action = self.prev.map(|(_, a)| a);
         self.prev = Some((state, action_idx));
         for buf in &mut self.trec {
             buf.clear();
         }
         self.epochs += 1;
+        tel::counter!("agent.decisions");
+        if explored {
+            tel::counter!("agent.explore_actions");
+        }
+        tel::gauge!("agent.alpha", self.alpha.alpha());
+        tel::gauge!(
+            "agent.exploration_ratio",
+            self.explore_actions as f64 / self.epochs as f64
+        );
+        let phase_after = self.alpha.phase();
+        if phase_after != phase_before {
+            tel::event!("agent.phase", "{phase_after:?}");
+        }
 
         // Convergence bookkeeping (Figure 8).
         if let Some(q) = &self.qtable {
@@ -411,6 +454,15 @@ impl ThermalController for DasDac14Controller {
             .as_ref()
             .expect("on_start must run before sampling")
             .get(action_idx);
+        // Only changes are logged, so steady exploitation does not flood
+        // the ring buffer out of its detect/phase events.
+        if prev_action != Some(action_idx) {
+            tel::event!(
+                "actuate",
+                "action={action_idx} governor={:?}",
+                action.governor
+            );
+        }
         Some(Actuation {
             assignment: Some(action.assignment.clone()),
             governor: Some(action.governor),
@@ -591,6 +643,41 @@ mod tests {
         // And it still decides normally.
         let decisions = feed(&mut warm, 5, |_| 45.0);
         assert_eq!(decisions, 5);
+    }
+
+    /// The learning-dynamics introspection: detector verdicts and
+    /// Q-table transitions must surface as telemetry events (thread-local
+    /// ring, so concurrent tests cannot pollute the assertion).
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn detect_verdicts_emit_events() {
+        thermorl_telemetry::set_enabled(true);
+        let cursor = thermorl_telemetry::next_event_seq();
+        let mut a = agent();
+        // Converge on a cool workload, then switch to a hot cycling one.
+        feed(&mut a, 20, |_| 40.0);
+        feed(&mut a, 10, |k| if k % 2 == 0 { 45.0 } else { 75.0 });
+        assert!(a.inter_events() >= 1, "switch should be detected");
+        let events = thermorl_telemetry::thread_events_since(cursor);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "detect" && e.detail == "inter"),
+            "detect:inter event missing from {events:?}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "qtable" && e.detail == "reset"),
+            "qtable:reset event missing"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "qtable" && e.detail == "snapshot"),
+            "end-of-exploration snapshot event missing"
+        );
+        assert!(a.explore_actions() > 0, "exploration must be counted");
     }
 
     #[test]

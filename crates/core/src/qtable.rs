@@ -89,6 +89,10 @@ impl QTable {
     /// ```text
     /// Q(E_i, ℵ_i) += α · (R(E_i, E_{i+1}) + γ·max_{ℵ_j} Q(E_{i+1}, ℵ_j) − Q(E_i, ℵ_i))
     /// ```
+    ///
+    /// Returns the temporal-difference error `target − Q(E_i, ℵ_i)`
+    /// (before scaling by α) — the learning-dynamics signal the agent's
+    /// telemetry exports.
     pub fn update(
         &mut self,
         state: StateId,
@@ -97,10 +101,12 @@ impl QTable {
         alpha: f64,
         gamma: f64,
         next_state: StateId,
-    ) {
+    ) -> f64 {
         let target = reward + gamma * self.max_q(next_state);
         let idx = state.0 * self.num_actions + action;
-        self.values[idx] += alpha * (target - self.values[idx]);
+        let td_error = target - self.values[idx];
+        self.values[idx] += alpha * td_error;
+        td_error
     }
 
     /// Copies the current values out (the `Q_exp` table of §5.4).
@@ -196,9 +202,11 @@ mod tests {
     #[test]
     fn update_moves_toward_target() {
         let mut q = QTable::new(2, 2);
-        q.update(StateId(0), 0, 10.0, 0.5, 0.0, StateId(1));
+        let td = q.update(StateId(0), 0, 10.0, 0.5, 0.0, StateId(1));
+        assert!((td - 10.0).abs() < 1e-12, "first TD-error is the target");
         assert!((q.q(StateId(0), 0) - 5.0).abs() < 1e-12);
-        q.update(StateId(0), 0, 10.0, 0.5, 0.0, StateId(1));
+        let td = q.update(StateId(0), 0, 10.0, 0.5, 0.0, StateId(1));
+        assert!((td - 5.0).abs() < 1e-12, "TD-error shrinks as Q converges");
         assert!((q.q(StateId(0), 0) - 7.5).abs() < 1e-12);
     }
 

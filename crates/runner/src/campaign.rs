@@ -8,6 +8,7 @@ use std::time::Duration;
 
 use thermorl_sim::json::Value;
 use thermorl_sim::{run_scenario, RunOutcome, SimConfig, ThermalController};
+use thermorl_telemetry as tel;
 use thermorl_workload::Scenario;
 
 use crate::checkpoint::{self, CheckpointWriter, Codec};
@@ -34,6 +35,11 @@ pub struct RunnerConfig {
     /// Run only the jobs hashed to shard `.0` of `.1` total shards
     /// (zero-based; see [`crate::shard_of`]). `None` runs everything.
     pub shard: Option<(usize, usize)>,
+    /// Enable telemetry recording for the campaign and write the merged
+    /// registry snapshot (as JSON) to this path when the run finishes;
+    /// structured events additionally stream to the sibling
+    /// `*.events.jsonl` file. `None` leaves recording off.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for RunnerConfig {
@@ -46,6 +52,7 @@ impl Default for RunnerConfig {
             checkpoint: None,
             resume: false,
             shard: None,
+            telemetry: None,
         }
     }
 }
@@ -65,7 +72,10 @@ impl RunnerConfig {
     /// `--workers N`, `--serial`, `--checkpoint PATH`, `--resume`
     /// (implies a default checkpoint path if none was set),
     /// `--timeout-s N`, `--quiet`, `--shard I/N` (1-based: `--shard 1/4`
-    /// through `--shard 4/4` partition the campaign across machines).
+    /// through `--shard 4/4` partition the campaign across machines), and
+    /// `--telemetry [PATH]` (records registry metrics during the run and
+    /// writes the snapshot to PATH, default `telemetry.json`; the next
+    /// argument is taken as the path only when it is not itself a flag).
     /// Unknown flags are an error so typos surface instead of silently
     /// running the full campaign.
     pub fn apply_cli_args<I: IntoIterator<Item = String>>(
@@ -73,7 +83,7 @@ impl RunnerConfig {
         args: I,
         default_checkpoint: &str,
     ) -> Result<(), String> {
-        let mut args = args.into_iter();
+        let mut args = args.into_iter().peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--workers" => {
@@ -114,6 +124,13 @@ impl RunnerConfig {
                         ));
                     }
                     self.shard = Some((i - 1, n));
+                }
+                "--telemetry" => {
+                    let path = match args.peek() {
+                        Some(next) if !next.starts_with("--") => args.next().expect("peeked value"),
+                        _ => "telemetry.json".to_string(),
+                    };
+                    self.telemetry = Some(PathBuf::from(path));
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -248,6 +265,15 @@ impl<T: Send + 'static> Campaign<T> {
                 .unwrap_or_else(|e| panic!("cannot open checkpoint {}: {e}", path.display()))
         });
 
+        // Telemetry: flip recording on for the whole campaign and carve
+        // this run's activity out of the process-wide totals with a
+        // baseline snapshot (earlier campaigns in the same process stay
+        // out of this run's export).
+        if config.telemetry.is_some() {
+            tel::set_enabled(true);
+        }
+        let tel_baseline = tel::snapshot();
+
         let mut progress = ProgressTracker::new(&name, jobs.len(), config.progress);
         progress.note_resumed(&restored);
 
@@ -266,6 +292,39 @@ impl<T: Send + 'static> Campaign<T> {
         });
 
         let stats = progress.finish();
+
+        if let Some(path) = &config.telemetry {
+            let snap = tel::snapshot().since(&tel_baseline);
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                        panic!("cannot create telemetry dir {}: {e}", parent.display())
+                    });
+                }
+            }
+            std::fs::write(path, snap.to_json() + "\n")
+                .unwrap_or_else(|e| panic!("cannot write telemetry {}: {e}", path.display()));
+            let events_path = path.with_extension("events.jsonl");
+            let mut lines = String::new();
+            for event in &snap.events {
+                lines.push_str(&tel::event_jsonl(event));
+                lines.push('\n');
+            }
+            std::fs::write(&events_path, lines).unwrap_or_else(|e| {
+                panic!(
+                    "cannot write telemetry events {}: {e}",
+                    events_path.display()
+                )
+            });
+            if config.progress {
+                let table = snap.render_span_table(10);
+                if !table.is_empty() {
+                    eprintln!("[{name}] top spans:\n{table}");
+                }
+                eprintln!("[{name}] telemetry written to {}", path.display());
+            }
+        }
+
         let mut records = restored;
         records.extend(executed);
         records.sort_by(|a, b| a.key.cmp(&b.key));
@@ -352,6 +411,15 @@ impl<T> CampaignReport<T> {
             t.set("key", Value::Str(r.key.clone()));
             t.set("attempts", Value::UInt(u64::from(r.attempts)));
             t.set("duration_ms", Value::UInt(r.duration_ms));
+            if let Some(metrics) = &r.metrics {
+                if !metrics.counters.is_empty() {
+                    let mut counters = Value::object();
+                    for (name, value) in &metrics.counters {
+                        counters.set(name, Value::UInt(*value));
+                    }
+                    t.set("counters", counters);
+                }
+            }
             timings.push(t);
         }
         obj.set("timings", Value::Arr(timings));
@@ -510,6 +578,44 @@ mod tests {
 
         let mut bad = RunnerConfig::default();
         assert!(bad.apply_cli_args(["--wrokers".to_string()], "x").is_err());
+    }
+
+    #[test]
+    fn cli_telemetry_flag_takes_an_optional_path() {
+        let mut cfg = RunnerConfig::default();
+        cfg.apply_cli_args(
+            ["--telemetry", "out/tel.json"]
+                .iter()
+                .map(|s| s.to_string()),
+            "x",
+        )
+        .expect("parse");
+        assert_eq!(
+            cfg.telemetry.as_deref(),
+            Some(std::path::Path::new("out/tel.json"))
+        );
+
+        // Without a value — even when another flag follows — the default
+        // path is used and the flag is not swallowed.
+        let mut cfg = RunnerConfig::default();
+        cfg.apply_cli_args(
+            ["--telemetry", "--quiet"].iter().map(|s| s.to_string()),
+            "x",
+        )
+        .expect("parse");
+        assert_eq!(
+            cfg.telemetry.as_deref(),
+            Some(std::path::Path::new("telemetry.json"))
+        );
+        assert!(!cfg.progress, "--quiet after --telemetry still applies");
+
+        let mut cfg = RunnerConfig::default();
+        cfg.apply_cli_args(["--telemetry".to_string()], "x")
+            .expect("parse");
+        assert_eq!(
+            cfg.telemetry.as_deref(),
+            Some(std::path::Path::new("telemetry.json"))
+        );
     }
 
     #[test]

@@ -10,15 +10,19 @@
 //!
 //! Lines record only schedule-independent fields (no durations, no attempt
 //! counts), so a checkpoint sorted by key is byte-identical no matter how
-//! many workers produced it. Loading is last-wins per key, and a corrupt
-//! trailing line (a partial write from an interrupted campaign) is skipped
-//! with a warning rather than aborting the resume.
+//! many workers produced it. When telemetry is live, a record additionally
+//! carries the deterministic part of its per-job metrics delta — the
+//! counters, as a `"metrics"` object — but never span timings, which vary
+//! run to run. Loading is last-wins per key, and a corrupt trailing line
+//! (a partial write from an interrupted campaign) is skipped with a
+//! warning rather than aborting the resume.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use thermorl_sim::json::{JsonError, Value};
+use thermorl_telemetry::Snapshot;
 
 use crate::job::{JobOutcome, JobRecord};
 
@@ -52,6 +56,15 @@ pub fn record_line<T>(record: &JobRecord<T>, codec: &Codec<T>) -> String {
     let mut obj = Value::object();
     obj.set("key", Value::Str(record.key.clone()));
     obj.set("seed", Value::UInt(record.seed));
+    if let Some(metrics) = &record.metrics {
+        if !metrics.counters.is_empty() {
+            let mut counters = Value::object();
+            for (name, value) in &metrics.counters {
+                counters.set(name, Value::UInt(*value));
+            }
+            obj.set("metrics", counters);
+        }
+    }
     match &record.outcome {
         JobOutcome::Completed(payload) => {
             obj.set("status", Value::Str("ok".into()));
@@ -84,6 +97,20 @@ pub fn parse_line<T>(line: &str, codec: &Codec<T>) -> Result<JobRecord<T>, JsonE
         .get("status")
         .and_then(Value::as_str)
         .ok_or_else(|| JsonError::new("checkpoint line missing status"))?;
+    // Optional and tolerant: pre-telemetry checkpoints simply have no
+    // "metrics" object, and unrecognisable entries are dropped rather than
+    // failing the resume.
+    let metrics = value.get("metrics").map(|m| {
+        let mut snap = Snapshot::default();
+        if let Value::Obj(entries) = m {
+            for (name, v) in entries {
+                if let Some(count) = v.as_u64() {
+                    snap.counters.insert(name.clone(), count);
+                }
+            }
+        }
+        snap
+    });
     let outcome = match status {
         "ok" => {
             let payload = value
@@ -107,6 +134,7 @@ pub fn parse_line<T>(line: &str, codec: &Codec<T>) -> Result<JobRecord<T>, JsonE
         attempts: 0,
         duration_ms: 0,
         resumed: true,
+        metrics,
         outcome,
     })
 }
@@ -270,6 +298,7 @@ mod tests {
             attempts: 1,
             duration_ms: 12,
             resumed: false,
+            metrics: None,
             outcome,
         }
     }
@@ -298,6 +327,39 @@ mod tests {
         let line = record_line(&record("k", 1, JobOutcome::Completed(2)), &u64_codec());
         assert!(!line.contains("duration"), "line: {line}");
         assert!(!line.contains("attempts"), "line: {line}");
+    }
+
+    #[test]
+    fn metrics_counters_round_trip_but_timings_do_not() {
+        let mut metrics = Snapshot::default();
+        metrics
+            .counters
+            .insert("thermal.propagator_builds".into(), 3);
+        metrics.counters.insert("engine.samples".into(), 40);
+        metrics
+            .spans
+            .entry("engine.decide".into())
+            .or_default()
+            .record(1234);
+        let mut rec = record("k", 9, JobOutcome::Completed(2));
+        rec.metrics = Some(metrics);
+        let line = record_line(&rec, &u64_codec());
+        assert!(!line.contains("engine.decide"), "no timings in: {line}");
+        let back = parse_line(&line, &u64_codec()).expect("parse");
+        let restored = back.metrics.expect("metrics survive");
+        assert_eq!(restored.counters.get("thermal.propagator_builds"), Some(&3));
+        assert_eq!(restored.counters.get("engine.samples"), Some(&40));
+        assert!(restored.spans.is_empty());
+
+        // Empty metrics and pre-telemetry lines both decode to None.
+        let mut rec = record("k2", 9, JobOutcome::Completed(2));
+        rec.metrics = Some(Snapshot::default());
+        let line = record_line(&rec, &u64_codec());
+        assert!(!line.contains("metrics"), "line: {line}");
+        assert!(parse_line(&line, &u64_codec())
+            .expect("parse")
+            .metrics
+            .is_none());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::sync::Arc;
 
+use thermorl_telemetry::Snapshot;
+
 /// The work function of a job: given the job's derived seed, produce the
 /// payload. Must be safe to call more than once (the runner retries
 /// failed jobs once).
@@ -94,6 +96,12 @@ pub struct JobRecord<T> {
     pub duration_ms: u64,
     /// Whether this record was restored from a checkpoint instead of run.
     pub resumed: bool,
+    /// What the job recorded into the telemetry registry, as a delta of
+    /// its worker thread's shard. `None` when telemetry is disabled, the
+    /// attempt timed out (the detached thread keeps the data), or the
+    /// record predates telemetry in the checkpoint. Only the counters
+    /// survive a checkpoint round trip (timings are schedule-dependent).
+    pub metrics: Option<Snapshot>,
     /// The outcome.
     pub outcome: JobOutcome<T>,
 }

@@ -19,6 +19,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use thermorl_telemetry as tel;
+
 use crate::job::{Job, JobOutcome, JobRecord};
 
 /// Worker-pool configuration.
@@ -73,38 +75,62 @@ impl<T> Queues<T> {
     }
 }
 
+/// Brackets `f` with thread-local telemetry snapshots and returns
+/// `(result, what the call recorded)`. The delta is `None` when telemetry
+/// is disabled, so the disabled path stays snapshot-free.
+fn with_metrics<R>(f: impl FnOnce() -> R) -> (R, Option<tel::Snapshot>) {
+    if !tel::enabled() {
+        return (f(), None);
+    }
+    let before = tel::thread_snapshot();
+    let result = f();
+    (result, Some(tel::thread_snapshot().since(&before)))
+}
+
 fn run_attempt<T: Send + 'static>(
     job: &Job<T>,
     seed: u64,
     timeout: Option<Duration>,
-) -> JobOutcome<T> {
+) -> (JobOutcome<T>, Option<tel::Snapshot>) {
     match timeout {
         None => {
             let work = job.work.clone();
-            match std::panic::catch_unwind(AssertUnwindSafe(move || work(seed))) {
+            let (result, metrics) = with_metrics(move || {
+                std::panic::catch_unwind(AssertUnwindSafe(move || work(seed)))
+            });
+            let outcome = match result {
                 Ok(payload) => JobOutcome::Completed(payload),
                 Err(panic) => JobOutcome::Panicked(panic_message(panic)),
-            }
+            };
+            (outcome, metrics)
         }
         Some(limit) => {
             // The attempt runs on its own thread so the worker can give up
             // on it. A timed-out thread is detached, not killed: it keeps
             // running to completion in the background (Rust has no safe
-            // thread cancellation) but its result is discarded.
+            // thread cancellation) but its result is discarded — along
+            // with its metrics delta, which lives on that thread's shard.
             let work = job.work.clone();
             let (tx, rx) = mpsc::sync_channel(1);
             let builder = std::thread::Builder::new()
                 .name(format!("job:{}", job.key))
                 .spawn(move || {
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(move || work(seed)));
-                    let _ = tx.send(result);
+                    let (result, metrics) = with_metrics(move || {
+                        std::panic::catch_unwind(AssertUnwindSafe(move || work(seed)))
+                    });
+                    let _ = tx.send((result, metrics));
                 });
             match builder {
-                Err(e) => JobOutcome::Panicked(format!("failed to spawn job thread: {e}")),
+                Err(e) => (
+                    JobOutcome::Panicked(format!("failed to spawn job thread: {e}")),
+                    None,
+                ),
                 Ok(_handle) => match rx.recv_timeout(limit) {
-                    Ok(Ok(payload)) => JobOutcome::Completed(payload),
-                    Ok(Err(panic)) => JobOutcome::Panicked(panic_message(panic)),
-                    Err(_) => JobOutcome::TimedOut,
+                    Ok((Ok(payload), metrics)) => (JobOutcome::Completed(payload), metrics),
+                    Ok((Err(panic), metrics)) => {
+                        (JobOutcome::Panicked(panic_message(panic)), metrics)
+                    }
+                    Err(_) => (JobOutcome::TimedOut, None),
                 },
             }
         }
@@ -167,15 +193,23 @@ pub fn run_jobs<T: Send + 'static>(
                 let seed = seeds[index];
                 let mut attempts = 0;
                 let mut outcome;
+                let mut metrics;
                 let mut duration;
                 loop {
                     attempts += 1;
                     let t0 = Instant::now();
-                    outcome = run_attempt(&job, seed, timeout);
+                    (outcome, metrics) = run_attempt(&job, seed, timeout);
                     duration = t0.elapsed();
                     if outcome.is_completed() || attempts >= max_attempts {
                         break;
                     }
+                    tel::counter!("runner.retries");
+                    tel::event!("job.retry", "{} attempt={attempts}", job.key);
+                }
+                tel::counter!("runner.jobs");
+                if matches!(outcome, JobOutcome::TimedOut) {
+                    tel::counter!("runner.timeouts");
+                    tel::event!("job.timeout", "{}", job.key);
                 }
                 let record = JobRecord {
                     key: job.key,
@@ -183,6 +217,7 @@ pub fn run_jobs<T: Send + 'static>(
                     attempts,
                     duration_ms: duration.as_millis() as u64,
                     resumed: false,
+                    metrics,
                     outcome,
                 };
                 if tx.send((index, record)).is_err() {

@@ -8,15 +8,18 @@
 use std::time::{Duration, Instant};
 
 use thermorl_sim::json::Value;
+use thermorl_telemetry::Histogram;
 
 use crate::job::{JobOutcome, JobRecord};
 
-/// Number of log2 duration buckets: bucket `i` covers `[2^i, 2^(i+1))` ms,
-/// except bucket 0 (`< 2` ms) and the last bucket (everything longer).
-const HISTOGRAM_BUCKETS: usize = 20;
+/// Number of log2 duration buckets exported in the JSON stats: bucket `i`
+/// covers `[2^i, 2^(i+1))` ms, except bucket 0 (`< 2` ms) and the last
+/// bucket (everything longer). The in-memory [`Histogram`] keeps its full
+/// resolution; the tail is folded into this many buckets on export.
+const EXPORT_BUCKETS: usize = 20;
 
 /// Aggregated campaign statistics.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignStats {
     /// Jobs that completed with a payload (including resumed ones).
     pub completed: u64,
@@ -30,23 +33,9 @@ pub struct CampaignStats {
     pub attempts: u64,
     /// Sum of final-attempt durations across executed jobs, in ms.
     pub total_duration_ms: u64,
-    /// Log2-bucketed histogram of executed-job durations (bucket `i`
-    /// counts jobs of roughly `2^i` ms).
-    pub duration_histogram: [u64; HISTOGRAM_BUCKETS],
-}
-
-impl Default for CampaignStats {
-    fn default() -> Self {
-        CampaignStats {
-            completed: 0,
-            panicked: 0,
-            timed_out: 0,
-            resumed: 0,
-            attempts: 0,
-            total_duration_ms: 0,
-            duration_histogram: [0; HISTOGRAM_BUCKETS],
-        }
-    }
+    /// Log2-bucketed histogram of executed-job durations in ms (the
+    /// shared telemetry histogram type).
+    pub duration_histogram: Histogram,
 }
 
 impl CampaignStats {
@@ -72,7 +61,7 @@ impl CampaignStats {
         } else {
             self.attempts += u64::from(record.attempts);
             self.total_duration_ms += record.duration_ms;
-            self.duration_histogram[duration_bucket(record.duration_ms)] += 1;
+            self.duration_histogram.record(record.duration_ms);
         }
     }
 
@@ -86,29 +75,23 @@ impl CampaignStats {
         obj.set("attempts", Value::UInt(self.attempts));
         obj.set("total_duration_ms", Value::UInt(self.total_duration_ms));
         let mut buckets = Vec::new();
-        for (i, &count) in self.duration_histogram.iter().enumerate() {
+        for (i, &count) in self
+            .duration_histogram
+            .fold(EXPORT_BUCKETS)
+            .iter()
+            .enumerate()
+        {
             if count == 0 {
                 continue;
             }
             let mut b = Value::object();
-            b.set("le_ms", Value::UInt(bucket_upper_ms(i)));
+            b.set("le_ms", Value::UInt(Histogram::bucket_upper(i)));
             b.set("count", Value::UInt(count));
             buckets.push(b);
         }
         obj.set("duration_histogram", Value::Arr(buckets));
         obj
     }
-}
-
-/// The log2 bucket index for a duration.
-fn duration_bucket(duration_ms: u64) -> usize {
-    let bits = 64 - duration_ms.leading_zeros() as usize; // 0 for 0ms
-    bits.saturating_sub(1).min(HISTOGRAM_BUCKETS - 1)
-}
-
-/// The exclusive upper bound of bucket `i`, in ms.
-fn bucket_upper_ms(i: usize) -> u64 {
-    1u64 << (i + 1)
 }
 
 /// Throttled stderr progress reporting plus stats accumulation.
@@ -210,6 +193,7 @@ mod tests {
             attempts: if resumed { 0 } else { 1 },
             duration_ms,
             resumed,
+            metrics: None,
             outcome,
         }
     }
@@ -232,15 +216,23 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_log2() {
-        assert_eq!(duration_bucket(0), 0);
-        assert_eq!(duration_bucket(1), 0);
-        assert_eq!(duration_bucket(2), 1);
-        assert_eq!(duration_bucket(3), 1);
-        assert_eq!(duration_bucket(4), 2);
-        assert_eq!(duration_bucket(1023), 9);
-        assert_eq!(duration_bucket(1024), 10);
-        assert_eq!(duration_bucket(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    fn export_folds_the_tail_into_the_last_bucket() {
+        // A sample beyond the 20-bucket export range must still show up,
+        // collapsed into the last exported bucket — exactly what the old
+        // bespoke `min(19)` clamp produced.
+        let mut stats = CampaignStats::default();
+        stats.record(&rec("a", JobOutcome::Completed(1), u64::MAX / 2, false));
+        let json = stats.to_json();
+        let hist = json
+            .get("duration_histogram")
+            .and_then(Value::as_array)
+            .expect("histogram");
+        assert_eq!(hist.len(), 1);
+        assert_eq!(
+            hist[0].get("le_ms").and_then(Value::as_u64),
+            Some(1 << EXPORT_BUCKETS)
+        );
+        assert_eq!(hist[0].get("count").and_then(Value::as_u64), Some(1));
     }
 
     #[test]

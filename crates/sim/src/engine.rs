@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use thermorl_platform::{AffinityMask, Machine, MachineConfig, ThreadDemand};
 use thermorl_reliability::ThermalProfile;
+use thermorl_telemetry as tel;
 use thermorl_thermal::{DieModel, DieParams, Floorplan, SensorBank, SensorParams};
 use thermorl_workload::{AppExecution, AppModel, Scenario};
 
@@ -166,6 +167,10 @@ impl Simulation {
         let mut decisions = 0u64;
         let mut completed = true;
         let sampling_interval = self.controller.sampling_interval().max(self.config.tick);
+        // Bridge cursor: telemetry events recorded on this thread from
+        // here on (by the controller, the thermal stepper, …) are
+        // mirrored into the trace as labelled events.
+        let mut event_cursor = tel::next_event_seq();
 
         let apps: Vec<AppModel> = self.scenario.apps.clone();
         'apps: for (app_idx, app) in apps.iter().enumerate() {
@@ -207,7 +212,13 @@ impl Simulation {
                     self.die
                         .set_core_power(c, mt.core_dynamic_w[c] + mt.core_static_w[c]);
                 }
-                self.die.advance(self.config.tick);
+                {
+                    // The span lives here rather than inside
+                    // `DieModel::advance` so the ~60 ns solver hot path
+                    // (bench: `die_advance_1s`) stays uninstrumented.
+                    let _g = tel::span!("thermal.step");
+                    self.die.advance(self.config.tick);
+                }
                 time += self.config.tick;
                 exec.advance(&mt.exec_giga_cycles, time);
 
@@ -256,8 +267,18 @@ impl Simulation {
                         counters: self.machine.counters(),
                         core_freq_ghz: &freqs,
                     };
-                    if let Some(act) = self.controller.on_sample(&obs) {
+                    tel::counter!("engine.samples");
+                    tel::gauge!(
+                        "engine.max_temp_c",
+                        readings.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                    );
+                    let act = {
+                        let _g = tel::span!("engine.decide");
+                        self.controller.on_sample(&obs)
+                    };
+                    if let Some(act) = act {
                         decisions += 1;
+                        tel::counter!("engine.actuations");
                         self.machine.charge_decision_overhead();
                         if let Some(assignment) = &act.assignment {
                             self.machine.apply_assignment(assignment);
@@ -272,6 +293,18 @@ impl Simulation {
                         }
                         if self.config.record_trace {
                             self.trace.event(time, "decision");
+                        }
+                    }
+                    // Events → trace bridge: mode switches, Q-table
+                    // resets/restores, propagator rebuilds and anything
+                    // else this thread recorded since the last sample
+                    // become trace labels (e.g. `"detect:inter"`), so the
+                    // Fig. 4/5 profile plots can mark them on the
+                    // timeline.
+                    if self.config.record_trace {
+                        for ev in tel::thread_events_since(event_cursor) {
+                            event_cursor = ev.seq + 1;
+                            self.trace.event(time, ev.label());
                         }
                     }
                 }
@@ -565,6 +598,61 @@ mod tests {
         let out = sim.run();
         assert!(!sim.trace().is_empty());
         assert_eq!(sim.trace().len(), out.sensor_profiles[0].len());
+    }
+
+    /// Satellite: a scripted controller that flags workload switches as
+    /// telemetry events must see them bridged into the trace as labelled
+    /// `TraceEvent`s, in timeline order (the `"detect:..."` labels the
+    /// Fig. 4/5 plots mark). Thread-local event ring ⇒ concurrent tests
+    /// cannot pollute the sequence.
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn telemetry_events_bridge_into_trace() {
+        struct ScriptedDetector;
+        impl ThermalController for ScriptedDetector {
+            fn name(&self) -> &str {
+                "scripted-detector"
+            }
+            fn on_sample(&mut self, obs: &Observation<'_>) -> Option<Actuation> {
+                if obs.app_switched {
+                    // First switch reads as inter, the second as intra.
+                    if obs.app_index == 1 {
+                        thermorl_telemetry::event!("detect", "inter");
+                    } else {
+                        thermorl_telemetry::event!("detect", "intra");
+                    }
+                }
+                None
+            }
+        }
+        thermorl_telemetry::set_enabled(true);
+        let mut config = quick_config(900.0);
+        config.record_trace = true;
+        let scenario = Scenario::new(vec![tiny_app(), tiny_app(), tiny_app()]);
+        let mut sim = Simulation::new(scenario, Box::new(ScriptedDetector), &config, 3);
+        let out = sim.run();
+        assert!(out.completed);
+        let labels: Vec<&str> = sim
+            .trace()
+            .events
+            .iter()
+            .map(|e| e.label.as_str())
+            .filter(|l| l.starts_with("detect:"))
+            .collect();
+        assert_eq!(
+            labels,
+            vec!["detect:inter", "detect:intra"],
+            "scripted switches must bridge in order"
+        );
+        // Bridged events carry sample-time stamps inside the run.
+        for e in sim
+            .trace()
+            .events
+            .iter()
+            .filter(|e| e.label.starts_with("detect:"))
+        {
+            assert!(e.time > 0.0 && e.time <= out.total_time);
+        }
     }
 
     /// A longer tiny app (~200 s) so ambient dynamics have time to act.

@@ -1,0 +1,169 @@
+//! The bounded structured event log.
+//!
+//! Discrete happenings — an agent mode switch, a Q-table reset, a thermal
+//! propagator rebuild, a job retry — are recorded as [`Event`]s into a
+//! per-thread ring buffer of fixed capacity. When the ring is full the
+//! oldest event is dropped and counted, so a runaway emitter can never
+//! grow memory without bound; the drop count is surfaced in snapshots so
+//! the loss is visible rather than silent.
+
+use std::collections::VecDeque;
+
+/// A discrete structured event: a globally-ordered sequence number, a
+/// static event name (e.g. `"detect"`), and a dynamic detail string
+/// (e.g. `"inter"`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (one counter across all threads), so events
+    /// merged from several shards can be totally ordered.
+    pub seq: u64,
+    /// The static event name.
+    pub name: &'static str,
+    /// Free-form detail, empty when the event carries none.
+    pub detail: String,
+}
+
+impl Event {
+    /// The `name:detail` label used when bridging events into trace
+    /// recorders (just `name` when the detail is empty) — e.g.
+    /// `"detect:intra"`.
+    pub fn label(&self) -> String {
+        if self.detail.is_empty() {
+            self.name.to_string()
+        } else {
+            format!("{}:{}", self.name, self.detail)
+        }
+    }
+}
+
+/// Default per-thread ring capacity.
+pub const DEFAULT_EVENT_CAPACITY: usize = 8192;
+
+/// A bounded ring buffer of [`Event`]s with an overflow drop counter.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// An empty log holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting (and counting) the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events have been evicted due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.ring.iter()
+    }
+
+    /// Clones out every held event with `seq >= seq_floor`, oldest-first.
+    /// This is the trace-bridge primitive: a consumer keeps a cursor (the
+    /// next unseen sequence number) and drains incrementally.
+    pub fn since(&self, seq_floor: u64) -> Vec<Event> {
+        self.ring
+            .iter()
+            .filter(|e| e.seq >= seq_floor)
+            .cloned()
+            .collect()
+    }
+
+    /// Removes all events and resets the drop counter.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            name: "t",
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::new(3);
+        for seq in 0..5 {
+            log.push(ev(seq));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let seqs: Vec<u64> = log.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn since_drains_from_cursor() {
+        let mut log = EventLog::new(8);
+        for seq in 0..5 {
+            log.push(ev(seq));
+        }
+        let tail = log.since(3);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 3);
+        assert_eq!(tail[1].seq, 4);
+    }
+
+    #[test]
+    fn label_joins_name_and_detail() {
+        let e = Event {
+            seq: 0,
+            name: "detect",
+            detail: "intra".into(),
+        };
+        assert_eq!(e.label(), "detect:intra");
+        assert_eq!(ev(0).label(), "t");
+    }
+}

@@ -1,0 +1,178 @@
+//! The shared log2-bucketed histogram.
+//!
+//! One histogram type serves every layer: span durations in the registry,
+//! the runner's per-job duration histogram (which used to be a bespoke
+//! fixed array in `crates/runner/src/progress.rs`), and ad-hoc `observe!`
+//! metrics. The bucket semantics are exactly the runner's original ones —
+//! a sample lands in bucket `bits(v) - 1` (clamped), so bucket `i` has the
+//! exclusive upper bound `2^(i+1)` — which keeps the runner's exported
+//! JSON byte-compatible after the migration (see [`Histogram::fold`]).
+
+/// Number of internal buckets. Bucket `i` covers `[2^i, 2^(i+1))`, except
+/// bucket 0 which covers `[0, 2)` and the last which is open-ended.
+pub const BUCKETS: usize = 32;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The bucket a value lands in: `bits(value) - 1`, clamped to the
+    /// bucket range (0 and 1 share bucket 0; values ≥ `2^(BUCKETS-1)` all
+    /// land in the last bucket).
+    pub fn bucket_index(value: u64) -> usize {
+        let bits = (u64::BITS - value.leading_zeros()) as usize;
+        bits.saturating_sub(1).min(BUCKETS - 1)
+    }
+
+    /// The exclusive upper bound of bucket `index` (`2^(index+1)`); the
+    /// last bucket is open-ended in spirit but reports this bound too,
+    /// matching the runner's original export.
+    pub fn bucket_upper(index: usize) -> u64 {
+        1u64 << (index + 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Folds the 32 internal buckets down to `n`: buckets `0..n-1` map
+    /// through unchanged and the tail collapses into bucket `n-1`. With
+    /// `n = 20` this reproduces the runner's original 20-bucket layout
+    /// (`min(19)` clamp) exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or larger than [`BUCKETS`].
+    pub fn fold(&self, n: usize) -> Vec<u64> {
+        assert!((1..=BUCKETS).contains(&n), "fold width out of range: {n}");
+        let mut out = self.buckets[..n].to_vec();
+        out[n - 1] += self.buckets[n..].iter().sum::<u64>();
+        out
+    }
+
+    /// Bucket-wise saturating difference `self - baseline` (used to carve
+    /// per-job deltas out of a thread's running totals).
+    pub fn saturating_sub(&self, baseline: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (mine, base)) in self.buckets.iter().zip(baseline.buckets.iter()).enumerate() {
+            out.buckets[i] = mine.saturating_sub(*base);
+        }
+        out.count = self.count.saturating_sub(baseline.count);
+        out.sum = self.sum.saturating_sub(baseline.sum);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_semantics_match_runner_originals() {
+        // The runner's original duration_bucket: bits - 1, clamped to 19.
+        // Ours clamps to 31; below the clamp they must agree.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper(0), 2);
+        assert_eq!(Histogram::bucket_upper(9), 1024);
+    }
+
+    #[test]
+    fn record_merge_fold() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0, 1, 5, 900] {
+            a.record(v);
+        }
+        for v in [2, 1 << 25] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 906 + 2 + (1 << 25));
+        let folded = a.fold(20);
+        assert_eq!(folded.len(), 20);
+        // The 2^25 sample collapses into the last folded bucket.
+        assert_eq!(folded[19], 1);
+        assert_eq!(folded.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn saturating_sub_is_a_delta() {
+        let mut before = Histogram::new();
+        before.record(3);
+        let mut after = before.clone();
+        after.record(100);
+        after.record(5);
+        let delta = after.saturating_sub(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 105);
+    }
+}

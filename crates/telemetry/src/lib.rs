@@ -1,0 +1,189 @@
+//! thermorl-telemetry: workspace-wide observability with a compile-out
+//! path.
+//!
+//! The paper's headline mechanisms — Q-table snapshot/restore on *intra*-
+//! application change, Q-table reset on *inter*-application change, the
+//! decoupled sampling window — are events and rates that used to be
+//! invisible at run time. This crate gives every layer one cheap way to
+//! surface them:
+//!
+//! * **Metrics registry** — named [`counter!`]s, [`gauge!`]s and
+//!   log2-bucketed [`observe!`] histograms, recorded into per-thread
+//!   shards (each shard's mutex is only ever locked by its own thread on
+//!   the hot path) and merged on [`snapshot`]. Export as JSON
+//!   ([`Snapshot::to_json`]) or Prometheus text
+//!   ([`Snapshot::to_prometheus`]).
+//! * **Scoped spans** — `let _g = span!("engine.decide");` times the
+//!   enclosing scope via an RAII [`SpanGuard`] and aggregates count /
+//!   total / histogram per span name.
+//! * **Event log** — [`event!`]`("detect", "inter")` appends a
+//!   structured [`Event`] to a bounded per-thread ring buffer
+//!   ([`EventLog`]); overflow evicts the oldest and counts the drop.
+//!   [`thread_events_since`] lets a consumer (the sim's trace bridge)
+//!   drain its thread's events incrementally.
+//!
+//! **Cost model.** Recording is off unless both the `telemetry` cargo
+//! feature (on by default, forwarded by every downstream crate) is
+//! compiled in *and* [`set_enabled`]`(true)` was called. Every macro
+//! checks [`enabled`] first: with the feature off that check is a
+//! constant `false`, so arguments are never evaluated and the call site
+//! folds away; with the feature on but recording disabled it is a single
+//! relaxed atomic load (sub-nanosecond — `bench_thermal` measures it).
+//!
+//! ```
+//! use thermorl_telemetry as tel;
+//!
+//! tel::set_enabled(true);
+//! tel::counter!("demo.widgets", 3);
+//! tel::gauge!("demo.level", 0.7);
+//! {
+//!     let _g = tel::span!("demo.work");
+//!     tel::event!("demo", "phase {}", 1);
+//! }
+//! let snap = tel::snapshot();
+//! # #[cfg(feature = "telemetry")]
+//! assert_eq!(snap.counters.get("demo.widgets").copied(), Some(3));
+//! tel::set_enabled(false);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod events;
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use events::{Event, EventLog, DEFAULT_EVENT_CAPACITY};
+pub use export::event_jsonl;
+pub use histogram::{Histogram, BUCKETS};
+pub use registry::{
+    counter_add, enabled, gauge_set, next_event_seq, observe_value, record_event, record_span_ns,
+    reset, set_enabled, snapshot, thread_events_since, thread_snapshot, Snapshot, SpanStats,
+};
+pub use span::SpanGuard;
+
+/// Increments a named counter: `counter!("engine.samples")` adds 1,
+/// `counter!("engine.samples", n)` adds `n`. Arguments are not evaluated
+/// when telemetry is disabled.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1)
+    };
+    ($name:expr, $delta:expr) => {
+        if $crate::enabled() {
+            $crate::counter_add($name, $delta);
+        }
+    };
+}
+
+/// Sets a named gauge to an `f64` value: `gauge!("agent.alpha", a)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::gauge_set($name, $value);
+        }
+    };
+}
+
+/// Records a `u64` sample into a named log2 histogram:
+/// `observe!("runner.job_ms", ms)`.
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::observe_value($name, $value);
+        }
+    };
+}
+
+/// Appends a structured event: `event!("detect", "inter")` or with
+/// format arguments `event!("agent.phase", "{:?}", phase)`. The detail
+/// string is only formatted when telemetry is enabled.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::record_event($name, ::std::string::String::new());
+        }
+    };
+    ($name:expr, $($arg:tt)+) => {
+        if $crate::enabled() {
+            $crate::record_event($name, ::std::format!($($arg)+));
+        }
+    };
+}
+
+/// Starts an RAII span timer: `let _g = span!("engine.decide");` records
+/// the scope's duration on drop. Binds to a named guard if you need to
+/// end it early (`drop(g)`) or abandon it (`g.cancel()`).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::begin($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as tel;
+
+    // The global registry is process-wide and unit tests run
+    // concurrently, so every test here uses metric names private to
+    // itself and asserts via deltas, never via global absence.
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn macros_record_through_the_registry() {
+        tel::set_enabled(true);
+        let before = tel::thread_snapshot();
+        tel::counter!("libtest.counter");
+        tel::counter!("libtest.counter", 4);
+        tel::gauge!("libtest.gauge", 2.5);
+        tel::observe!("libtest.hist", 700);
+        {
+            let _g = tel::span!("libtest.span");
+            std::hint::black_box(17);
+        }
+        tel::event!("libtest.event", "detail {}", 9);
+        let delta = tel::thread_snapshot().since(&before);
+        assert_eq!(delta.counters.get("libtest.counter").copied(), Some(5));
+        assert_eq!(delta.gauges.get("libtest.gauge").copied(), Some(2.5));
+        assert_eq!(
+            delta.histograms.get("libtest.hist").map(|h| h.count()),
+            Some(1)
+        );
+        let span = delta.spans.get("libtest.span").expect("span recorded");
+        assert_eq!(span.count, 1);
+        let ev = delta
+            .events
+            .iter()
+            .find(|e| e.name == "libtest.event")
+            .expect("event recorded");
+        assert_eq!(ev.detail, "detail 9");
+        assert_eq!(ev.label(), "libtest.event:detail 9");
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn span_cancel_records_nothing() {
+        tel::set_enabled(true);
+        let before = tel::thread_snapshot();
+        let g = tel::span!("libtest.cancelled");
+        g.cancel();
+        let delta = tel::thread_snapshot().since(&before);
+        assert!(!delta.spans.contains_key("libtest.cancelled"));
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry"))]
+    fn feature_off_is_inert() {
+        tel::set_enabled(true); // must be a no-op
+        assert!(!tel::enabled());
+        tel::counter!("off.counter");
+        tel::event!("off.event", "x");
+        assert!(tel::snapshot().is_empty());
+    }
+}

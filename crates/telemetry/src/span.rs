@@ -1,0 +1,44 @@
+//! RAII span guards: `let _g = span!("engine.decide");` times the scope
+//! and records the duration into the registry on drop.
+
+use std::time::Instant;
+
+use crate::registry;
+
+/// A scoped timer. Created by the [`crate::span!`] macro (or
+/// [`SpanGuard::begin`]); on drop it records the elapsed nanoseconds
+/// under its name. When telemetry is disabled at `begin` time no clock is
+/// read and the drop is a no-op.
+#[must_use = "a span guard times its scope; dropping it immediately records ~0 ns"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts timing a span named `name` (no-op when telemetry is off).
+    #[inline]
+    pub fn begin(name: &'static str) -> SpanGuard {
+        let start = if registry::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanGuard { name, start }
+    }
+
+    /// Abandons the span without recording it.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            registry::record_span_ns(self.name, ns);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Proves the disabled path records nothing and allocates nothing.
+//!
+//! This binary never calls `set_enabled(true)`, so the runtime switch
+//! stays at its default (`false`) for the whole process — the test would
+//! be meaningless inside the crate's unit-test binary, where other tests
+//! enable recording. A counting global allocator additionally shows the
+//! disabled hot path is allocation-free.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use thermorl_telemetry as tel;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn boom() -> String {
+    panic!("event detail evaluated while disabled")
+}
+
+#[test]
+fn disabled_path_records_nothing_and_never_allocates() {
+    assert!(!tel::enabled(), "recording must be off by default");
+
+    let allocs = allocs_during(|| {
+        for i in 0..1000u64 {
+            tel::counter!("disabled.counter");
+            tel::counter!("disabled.counter", i);
+            tel::gauge!("disabled.gauge", i as f64);
+            tel::observe!("disabled.hist", i);
+            let _g = tel::span!("disabled.span");
+            // The format arguments must not even be evaluated.
+            tel::event!("disabled.event", "{}", boom());
+        }
+    });
+    assert_eq!(allocs, 0, "disabled recording must not allocate");
+
+    assert!(
+        tel::snapshot().is_empty(),
+        "nothing may reach the registry while disabled"
+    );
+    assert!(tel::thread_snapshot().is_empty());
+    assert!(tel::thread_events_since(0).is_empty());
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the telemetry substrate: the bounded event
+//! ring and the per-thread shard merge.
+
+use proptest::prelude::*;
+use thermorl_telemetry as tel;
+use thermorl_telemetry::{Event, EventLog, Histogram, SpanStats};
+
+fn ev(seq: u64, detail: u64) -> Event {
+    Event {
+        seq,
+        name: "prop",
+        detail: detail.to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ring never exceeds its capacity, keeps the newest events in
+    /// insertion order, and counts exactly the evicted ones.
+    #[test]
+    fn ring_bounds_order_and_drop_count(
+        capacity in 1usize..9,
+        details in proptest::collection::vec(0u64..1000, 0..40),
+    ) {
+        let mut log = EventLog::new(capacity);
+        for (i, &d) in details.iter().enumerate() {
+            log.push(ev(i as u64, d));
+        }
+        prop_assert!(log.len() <= capacity);
+        prop_assert_eq!(log.capacity(), capacity);
+        let expected_dropped = details.len().saturating_sub(capacity) as u64;
+        prop_assert_eq!(log.dropped(), expected_dropped);
+        // The survivors are exactly the newest `len` events, in order.
+        let kept: Vec<&Event> = log.iter().collect();
+        let tail = &details[details.len() - log.len()..];
+        for (i, (event, &detail)) in kept.iter().zip(tail.iter()).enumerate() {
+            prop_assert_eq!(event.seq, (details.len() - log.len() + i) as u64);
+            prop_assert_eq!(&event.detail, &detail.to_string());
+        }
+        // `since` returns a suffix consistent with `iter`.
+        if let Some(first) = kept.first() {
+            prop_assert_eq!(log.since(first.seq).len(), log.len());
+            prop_assert_eq!(log.since(first.seq + 1).len(), log.len() - 1);
+        }
+    }
+
+    /// Merging N concurrently-recorded shards yields exactly what serial
+    /// recording of the concatenated operations would.
+    #[test]
+    fn shard_merge_equals_serial_recording(
+        per_shard in proptest::collection::vec(
+            proptest::collection::vec((0usize..3, 1u64..1_000_000), 0..40),
+            1..5,
+        ),
+    ) {
+        const NAMES: [&str; 3] = ["merge.a", "merge.b", "merge.c"];
+        tel::set_enabled(true);
+        let baseline = tel::snapshot();
+
+        let threads: Vec<_> = per_shard
+            .iter()
+            .cloned()
+            .map(|ops| {
+                std::thread::spawn(move || {
+                    for (idx, value) in ops {
+                        tel::counter_add(NAMES[idx], value);
+                        tel::observe_value(NAMES[idx], value);
+                        tel::record_span_ns(NAMES[idx], value);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("shard thread");
+        }
+
+        let delta = tel::snapshot().since(&baseline);
+
+        // Serial reference: one pass over the concatenation.
+        let mut counters = [0u64; 3];
+        let mut hists: [Histogram; 3] = Default::default();
+        let mut spans: [SpanStats; 3] = Default::default();
+        for ops in &per_shard {
+            for &(idx, value) in ops {
+                counters[idx] += value;
+                hists[idx].record(value);
+                spans[idx].record(value);
+            }
+        }
+        for (i, name) in NAMES.iter().enumerate() {
+            prop_assert_eq!(
+                delta.counters.get(*name).copied().unwrap_or(0),
+                counters[i]
+            );
+            match delta.histograms.get(*name) {
+                Some(h) => prop_assert_eq!(h, &hists[i]),
+                None => prop_assert!(hists[i].is_empty()),
+            }
+            match delta.spans.get(*name) {
+                Some(s) => prop_assert_eq!(s, &spans[i]),
+                None => prop_assert_eq!(spans[i].count, 0),
+            }
+        }
+    }
+}
+
+/// Events recorded from several threads merge into one globally-ordered
+/// stream with strictly increasing, unique sequence numbers.
+#[test]
+fn merged_events_are_globally_ordered() {
+    tel::set_enabled(true);
+    let baseline = tel::snapshot();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    tel::record_event("order", format!("{t}/{i}"));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("event thread");
+    }
+    let delta = tel::snapshot().since(&baseline);
+    let ours: Vec<&Event> = delta.events.iter().filter(|e| e.name == "order").collect();
+    assert_eq!(ours.len(), 200);
+    for pair in ours.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "events must be strictly ordered");
+    }
+    // Per-thread relative order survives the merge.
+    for t in 0..4 {
+        let per_thread: Vec<usize> = ours
+            .iter()
+            .filter_map(|e| e.detail.strip_prefix(&format!("{t}/"))?.parse().ok())
+            .collect();
+        assert_eq!(per_thread, (0..50).collect::<Vec<usize>>());
+    }
+}

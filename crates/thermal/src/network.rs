@@ -377,14 +377,16 @@ impl RcNetwork {
 
     /// How many times the exact propagator has been (re)built — once per
     /// distinct step size seen by [`Stepper::Exact`]. Diagnostic for cache
-    /// behaviour (tests, benches).
+    /// behaviour (tests, benches); mirrored onto the telemetry registry as
+    /// the `thermal.propagator_builds` counter when recording is enabled.
     pub fn propagator_builds(&self) -> u64 {
         self.propagator_builds
     }
 
     /// How many times the exact stepper refreshed its cached steady state
     /// (one LU solve, triggered by power/ambient changes). Diagnostic for
-    /// cache behaviour (tests, benches).
+    /// cache behaviour (tests, benches); mirrored onto the telemetry
+    /// registry as the `thermal.steady_refreshes` counter.
     pub fn steady_refreshes(&self) -> u64 {
         self.steady_refreshes
     }
@@ -427,6 +429,8 @@ impl RcNetwork {
             rhs: vec![0.0; n],
         });
         self.propagator_builds += 1;
+        thermorl_telemetry::counter!("thermal.propagator_builds");
+        thermorl_telemetry::event!("thermal.rebuild", "propagator dt={dt}");
         self.steady_dirty = true;
     }
 
@@ -476,6 +480,7 @@ impl RcNetwork {
                     }
                     self.lu.solve_into(&cache.rhs, &mut cache.t_ss);
                     self.steady_refreshes += 1;
+                    thermorl_telemetry::counter!("thermal.steady_refreshes");
                     self.steady_dirty = false;
                 }
                 // T(t+dt) = T_ss + E·(T(t) - T_ss)
