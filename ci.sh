@@ -12,6 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo build (telemetry compiled out) =="
 cargo build -q -p thermorl-bench --no-default-features
+cargo build -q -p thermorl-dispatch --no-default-features
 
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
@@ -24,5 +25,27 @@ cargo bench --workspace --no-run
 
 echo "== bench_thermal --quick (regenerate perf snapshot) =="
 cargo run --release -q -p thermorl-bench --bin bench_thermal -- --quick
+
+echo "== dispatch loopback smoke (serve + status + work) =="
+# A real coordinator/worker round trip over 127.0.0.1 on an ephemeral
+# port, dispatching just the fig1/ slice of the campaign. Every step is
+# wall-clock bounded; `wait` propagates serve's exit code (nonzero if
+# any dispatched job failed).
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+timeout 300 cargo run --release -q -p thermorl-bench --bin run_all -- \
+    dispatch serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr" \
+    --store "$SMOKE_DIR/store.jsonl" --filter fig1/ \
+    --telemetry "$SMOKE_DIR/telemetry.json" --quiet &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -s "$SMOKE_DIR/addr" ] && break; sleep 0.1; done
+[ -s "$SMOKE_DIR/addr" ] || { echo "coordinator never bound"; exit 1; }
+timeout 60 cargo run --release -q -p thermorl-bench --bin run_all -- \
+    dispatch status --coordinator-file "$SMOKE_DIR/addr"
+timeout 300 cargo run --release -q -p thermorl-bench --bin run_all -- \
+    dispatch work --coordinator-file "$SMOKE_DIR/addr" --quiet
+wait "$SERVE_PID"
+grep -q '"dispatch.leases_granted"' "$SMOKE_DIR/telemetry.json" \
+    || { echo "dispatch telemetry missing lease counters"; exit 1; }
 
 echo "CI OK"

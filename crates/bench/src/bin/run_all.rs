@@ -10,8 +10,11 @@
 //! structured events — and write the snapshot to PATH, default
 //! `telemetry.json`, plus events to the sibling `*.events.jsonl`).
 //!
-//! Subcommand: `run_all merge-checkpoints OUT IN...` folds several shard
-//! checkpoints last-wins into one.
+//! Subcommands: `run_all merge-checkpoints OUT IN...` folds several
+//! shard checkpoints last-wins into one, and
+//! `run_all dispatch serve|work|status|drain ...` runs the campaign as a
+//! distributed coordinator/worker fleet sharing one checkpoint store
+//! (see `thermorl-dispatch`).
 //!
 //! Every job's seed derives from its key, so the rendered results are
 //! identical for any worker count, any sharding, and a `--resume` after
@@ -20,11 +23,28 @@
 use std::io::Write;
 use std::time::Instant;
 
-use thermorl_bench::campaign::{assert_no_failures, merge_checkpoints_command, new_campaign};
+use thermorl_bench::campaign::{
+    check_failures, merge_checkpoints_command, new_campaign, CellOutcome,
+};
 use thermorl_bench::experiments as exp;
-use thermorl_runner::RunnerConfig;
+use thermorl_runner::{Campaign, RunnerConfig};
 
 const DEFAULT_CHECKPOINT: &str = "results/campaign.jsonl";
+
+/// The full evaluation as one campaign; keys are prefixed per experiment.
+fn build_campaign() -> Campaign<CellOutcome> {
+    let mut campaign = new_campaign("run_all");
+    exp::figure1_jobs(&mut campaign);
+    exp::table2_jobs(&mut campaign);
+    exp::figure3_jobs(&mut campaign, false);
+    exp::figure4_5_jobs(&mut campaign);
+    exp::figure6_jobs(&mut campaign);
+    exp::figure7_jobs(&mut campaign);
+    exp::figure8_jobs(&mut campaign);
+    exp::table3_figure9_jobs(&mut campaign);
+    exp::ablations_jobs(&mut campaign);
+    campaign
+}
 
 fn save(name: &str, content: &str) {
     std::fs::create_dir_all("results").expect("create results dir");
@@ -50,6 +70,25 @@ fn main() {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("dispatch") {
+        match thermorl_dispatch::dispatch_command(&args[1..], build_campaign(), DEFAULT_CHECKPOINT)
+        {
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
+                eprintln!("run_all dispatch: {e}");
+                eprintln!(
+                    "usage: run_all dispatch serve [--addr HOST:PORT] [--addr-file PATH] \
+                     [--store PATH] [--resume] [--lease-ms N] [--heartbeat-ms N] \
+                     [--max-retries N] [--filter PREFIX] [--telemetry [PATH]] [--quiet]\n\
+                     \x20      run_all dispatch work [--coordinator HOST:PORT | \
+                     --coordinator-file PATH] [--workers N] [--timeout-s N] [--name ID] [--quiet]\n\
+                     \x20      run_all dispatch status|drain [--coordinator HOST:PORT | \
+                     --coordinator-file PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let mut config = RunnerConfig {
         checkpoint: Some(DEFAULT_CHECKPOINT.into()),
         ..RunnerConfig::default()
@@ -60,23 +99,14 @@ fn main() {
             "usage: run_all [--workers N] [--serial] [--checkpoint PATH] \
              [--resume] [--timeout-s N] [--quiet] [--shard I/N] \
              [--telemetry [PATH]]\n\
-             \x20      run_all merge-checkpoints OUT IN..."
+             \x20      run_all merge-checkpoints OUT IN...\n\
+             \x20      run_all dispatch serve|work|status|drain ..."
         );
         std::process::exit(2);
     }
     std::fs::create_dir_all("results").expect("create results dir");
 
-    // One campaign, every experiment; keys are prefixed per experiment.
-    let mut campaign = new_campaign("run_all");
-    exp::figure1_jobs(&mut campaign);
-    exp::table2_jobs(&mut campaign);
-    exp::figure3_jobs(&mut campaign, false);
-    exp::figure4_5_jobs(&mut campaign);
-    exp::figure6_jobs(&mut campaign);
-    exp::figure7_jobs(&mut campaign);
-    exp::figure8_jobs(&mut campaign);
-    exp::table3_figure9_jobs(&mut campaign);
-    exp::ablations_jobs(&mut campaign);
+    let campaign = build_campaign();
     println!(
         "campaign: {} jobs on {} worker(s){}{}",
         campaign.len(),
@@ -89,7 +119,11 @@ fn main() {
     );
 
     let report = campaign.run(&config);
-    assert_no_failures(&report);
+    if let Err(failures) = check_failures(&report) {
+        eprintln!("run_all: {failures}");
+        eprintln!("re-run with --resume to retry only the failed jobs");
+        std::process::exit(1);
+    }
 
     // A shard only holds its slice of the key space, so the renderers
     // (which need every cell) cannot run. Emit telemetry and point at the

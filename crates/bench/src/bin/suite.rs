@@ -5,18 +5,52 @@
 //!
 //! Accepts the shared campaign flags (`--workers`, `--serial`,
 //! `--checkpoint`, `--resume`, `--timeout-s`, `--quiet`, `--shard I/N`,
-//! `--telemetry [PATH]`) and the `suite merge-checkpoints OUT IN...`
-//! subcommand. A sharded
+//! `--telemetry [PATH]`) and the `suite merge-checkpoints OUT IN...` and
+//! `suite dispatch serve|work|status|drain ...` subcommands (the latter
+//! runs the grid as a distributed coordinator/worker fleet — see
+//! `thermorl-dispatch`). A sharded
 //! invocation runs and checkpoints its hash-slice of the grid but skips
 //! the table (which needs every cell); merge the shard checkpoints and
 //! rerun with `--resume` to render.
 
-use thermorl_bench::campaign::merge_checkpoints_command;
+use thermorl_bench::campaign::{check_failures, merge_checkpoints_command};
 use thermorl_bench::table::{num, Table};
 use thermorl_bench::{Policy, SEED};
-use thermorl_runner::{scenario_grid, PolicySpec, RunnerConfig};
-use thermorl_sim::SimConfig;
+use thermorl_runner::{scenario_grid, Campaign, PolicySpec, RunnerConfig};
+use thermorl_sim::{RunOutcome, SimConfig};
 use thermorl_workload::{alpbench, DataSet, Scenario};
+
+const DEFAULT_CHECKPOINT: &str = "results/suite.jsonl";
+
+const NAMES: [&str; 5] = ["tachyon", "mpeg_dec", "mpeg_enc", "face_rec", "sphinx"];
+
+/// The suite grid: every benchmark × dataset × Table-2 policy.
+fn build_campaign() -> Campaign<RunOutcome> {
+    // One single-app scenario per (benchmark, dataset); names are
+    // disambiguated with the dataset index so grid keys stay unique.
+    let scenarios: Vec<Scenario> = NAMES
+        .iter()
+        .flat_map(|name| {
+            DataSet::all().into_iter().map(move |ds| {
+                let mut s = Scenario::single(alpbench::by_name(name, ds).expect("known benchmark"));
+                s.name = format!("{}-{}", name, ds.index());
+                s
+            })
+        })
+        .collect();
+    let policies: Vec<PolicySpec> = Policy::table2()
+        .into_iter()
+        .map(|p| PolicySpec::new(p.slug(), move |seed| p.build(seed)))
+        .collect();
+    scenario_grid(
+        "suite",
+        SEED,
+        &scenarios,
+        &policies,
+        1,
+        &SimConfig::default(),
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,44 +67,36 @@ fn main() {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("dispatch") {
+        match thermorl_dispatch::dispatch_command(&args[1..], build_campaign(), DEFAULT_CHECKPOINT)
+        {
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
+                eprintln!("suite dispatch: {e}");
+                eprintln!(
+                    "usage: suite dispatch serve|work|status|drain ... (see run_all dispatch)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     let mut config = RunnerConfig {
         progress: false,
         ..RunnerConfig::default()
     };
-    if let Err(e) = config.apply_cli_args(args, "results/suite.jsonl") {
+    if let Err(e) = config.apply_cli_args(args, DEFAULT_CHECKPOINT) {
         eprintln!("suite: {e}");
         std::process::exit(2);
     }
 
     println!("# Full ALPBench suite — all five benchmarks (extension of Table 2)\n");
-    let names = ["tachyon", "mpeg_dec", "mpeg_enc", "face_rec", "sphinx"];
-    // One single-app scenario per (benchmark, dataset); names are
-    // disambiguated with the dataset index so grid keys stay unique.
-    let scenarios: Vec<Scenario> = names
-        .iter()
-        .flat_map(|name| {
-            DataSet::all().into_iter().map(move |ds| {
-                let mut s = Scenario::single(alpbench::by_name(name, ds).expect("known benchmark"));
-                s.name = format!("{}-{}", name, ds.index());
-                s
-            })
-        })
-        .collect();
-    let policies: Vec<PolicySpec> = Policy::table2()
-        .into_iter()
-        .map(|p| PolicySpec::new(p.slug(), move |seed| p.build(seed)))
-        .collect();
-    let report = scenario_grid(
-        "suite",
-        SEED,
-        &scenarios,
-        &policies,
-        1,
-        &SimConfig::default(),
-    )
-    .run(&config);
-    let failures = report.failures();
-    assert!(failures.is_empty(), "suite jobs failed: {failures:?}");
+    let names = NAMES;
+    let report = build_campaign().run(&config);
+    if let Err(failures) = check_failures(&report) {
+        eprintln!("suite: {failures}");
+        eprintln!("re-run with --resume to retry only the failed jobs");
+        std::process::exit(1);
+    }
 
     if let Some((i, n)) = config.shard {
         println!(

@@ -196,6 +196,27 @@ pub fn assert_no_failures(report: &CampaignReport<CellOutcome>) {
     );
 }
 
+/// Readable failure summary for a partial campaign, or `Ok` if every job
+/// completed. The campaign binaries print this and exit nonzero so CI
+/// and the dispatcher can detect partial runs instead of trusting a
+/// zero exit from a campaign that quietly lost cells.
+pub fn check_failures<T>(report: &CampaignReport<T>) -> Result<(), String> {
+    let failures = report.failures();
+    if failures.is_empty() {
+        return Ok(());
+    }
+    let mut message = format!(
+        "campaign {:?}: {} of {} job(s) failed:",
+        report.name,
+        failures.len(),
+        report.records.len()
+    );
+    for (key, reason) in &failures {
+        message.push_str(&format!("\n  {key}: {reason}"));
+    }
+    Err(message)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

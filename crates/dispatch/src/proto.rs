@@ -1,0 +1,480 @@
+//! The wire protocol: newline-delimited JSON messages over TCP.
+//!
+//! Every message is one JSON object on one line, tagged with a `"type"`
+//! field. Workers speak first (`hello`), then loop on `lease_request` →
+//! `grant`/`wait`/`done`; `heartbeat` and `result` are fire-and-forget
+//! (no response), which keeps the worker's writer shareable between its
+//! main loop and its heartbeat thread without any read multiplexing.
+//! Control clients send `status` or `drain` and read one `status_report`
+//! back.
+//!
+//! Result lines travel **verbatim**: a worker serialises the finished
+//! [`thermorl_runner::JobRecord`] with the campaign codec into exactly
+//! the line a local checkpoint would contain, and the coordinator appends
+//! that string to the shared store without decoding the payload. The
+//! store therefore stays codec-free (like `checkpoint::merge`) and the
+//! final checkpoint is byte-identical to a serial run's, sorted by key.
+
+use std::io::{self, BufRead, Write};
+
+use thermorl_sim::json::Value;
+
+/// Protocol version sent in `hello`; the coordinator rejects mismatches
+/// so a stale worker binary fails loudly instead of mis-running jobs.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// One leased job: the coordinator's promise that `key` is this worker's
+/// to run until `deadline_ms` elapses without a heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Coordinator-unique lease id (never reused within one campaign).
+    pub lease_id: u64,
+    /// The job key (addresses the checkpoint record and the seed).
+    pub key: String,
+    /// The derived job seed (`job_seed(campaign_seed, key)`), computed by
+    /// the coordinator so every worker sees the authoritative value.
+    pub seed: u64,
+    /// How long the lease lives without a heartbeat, in milliseconds.
+    pub deadline_ms: u64,
+}
+
+/// Aggregate campaign state returned for `status` / `drain`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Campaign name.
+    pub campaign: String,
+    /// Total jobs in the campaign.
+    pub total: u64,
+    /// Jobs completed (including resumed ones).
+    pub completed: u64,
+    /// Jobs permanently failed (retry cap exhausted).
+    pub failed: u64,
+    /// Jobs waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently leased to workers.
+    pub leased: u64,
+    /// Whether the coordinator is draining (no new leases granted).
+    pub draining: bool,
+}
+
+/// A protocol message (either direction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → coordinator: handshake.
+    Hello {
+        /// Worker identity (for logs and lease bookkeeping).
+        worker: String,
+        /// Must equal [`PROTOCOL_VERSION`].
+        protocol: u64,
+    },
+    /// Worker → coordinator: request up to `max_jobs` leases.
+    LeaseRequest {
+        /// Worker identity.
+        worker: String,
+        /// Upper bound on leases to grant (the worker's free slots).
+        max_jobs: u64,
+    },
+    /// Worker → coordinator: extend the deadlines of in-flight leases.
+    /// Fire-and-forget.
+    Heartbeat {
+        /// Worker identity.
+        worker: String,
+        /// The leases still being worked on.
+        lease_ids: Vec<u64>,
+    },
+    /// Worker → coordinator: one finished job. Fire-and-forget.
+    Result {
+        /// Worker identity.
+        worker: String,
+        /// The lease this result fulfils (stale ids are resolved by key).
+        lease_id: u64,
+        /// The verbatim checkpoint line for the finished job.
+        line: String,
+    },
+    /// Control client → coordinator: report campaign state.
+    Status,
+    /// Control client → coordinator: stop granting leases; exit once
+    /// in-flight leases resolve or expire.
+    Drain,
+    /// Worker → coordinator: clean disconnect.
+    Goodbye {
+        /// Worker identity.
+        worker: String,
+    },
+    /// Coordinator → worker: handshake reply.
+    Welcome {
+        /// Campaign name.
+        campaign: String,
+        /// Campaign seed (workers cross-check their local rebuild).
+        seed: u64,
+        /// Total jobs in the campaign.
+        total: u64,
+        /// Interval at which the worker should heartbeat, in ms.
+        heartbeat_ms: u64,
+    },
+    /// Coordinator → worker: granted leases (non-empty).
+    Grant {
+        /// The granted leases.
+        leases: Vec<Lease>,
+    },
+    /// Coordinator → worker: nothing grantable right now, retry after
+    /// `backoff_ms`.
+    Wait {
+        /// Suggested sleep before the next `lease_request`.
+        backoff_ms: u64,
+    },
+    /// Coordinator → worker: the campaign is resolved (or draining);
+    /// disconnect.
+    Done,
+    /// Coordinator → control client: campaign state.
+    StatusReport(StatusReport),
+    /// Coordinator → peer: protocol error (connection closes after).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Message {
+    /// Encodes the message as its single-line JSON form (no newline).
+    pub fn to_line(&self) -> String {
+        let mut obj = Value::object();
+        match self {
+            Message::Hello { worker, protocol } => {
+                obj.set("type", Value::Str("hello".into()));
+                obj.set("worker", Value::Str(worker.clone()));
+                obj.set("protocol", Value::UInt(*protocol));
+            }
+            Message::LeaseRequest { worker, max_jobs } => {
+                obj.set("type", Value::Str("lease_request".into()));
+                obj.set("worker", Value::Str(worker.clone()));
+                obj.set("max_jobs", Value::UInt(*max_jobs));
+            }
+            Message::Heartbeat { worker, lease_ids } => {
+                obj.set("type", Value::Str("heartbeat".into()));
+                obj.set("worker", Value::Str(worker.clone()));
+                obj.set(
+                    "lease_ids",
+                    Value::Arr(lease_ids.iter().map(|&id| Value::UInt(id)).collect()),
+                );
+            }
+            Message::Result {
+                worker,
+                lease_id,
+                line,
+            } => {
+                obj.set("type", Value::Str("result".into()));
+                obj.set("worker", Value::Str(worker.clone()));
+                obj.set("lease_id", Value::UInt(*lease_id));
+                obj.set("line", Value::Str(line.clone()));
+            }
+            Message::Status => {
+                obj.set("type", Value::Str("status".into()));
+            }
+            Message::Drain => {
+                obj.set("type", Value::Str("drain".into()));
+            }
+            Message::Goodbye { worker } => {
+                obj.set("type", Value::Str("goodbye".into()));
+                obj.set("worker", Value::Str(worker.clone()));
+            }
+            Message::Welcome {
+                campaign,
+                seed,
+                total,
+                heartbeat_ms,
+            } => {
+                obj.set("type", Value::Str("welcome".into()));
+                obj.set("campaign", Value::Str(campaign.clone()));
+                obj.set("seed", Value::UInt(*seed));
+                obj.set("total", Value::UInt(*total));
+                obj.set("heartbeat_ms", Value::UInt(*heartbeat_ms));
+            }
+            Message::Grant { leases } => {
+                obj.set("type", Value::Str("grant".into()));
+                let leases = leases
+                    .iter()
+                    .map(|l| {
+                        let mut v = Value::object();
+                        v.set("lease_id", Value::UInt(l.lease_id));
+                        v.set("key", Value::Str(l.key.clone()));
+                        v.set("seed", Value::UInt(l.seed));
+                        v.set("deadline_ms", Value::UInt(l.deadline_ms));
+                        v
+                    })
+                    .collect();
+                obj.set("leases", Value::Arr(leases));
+            }
+            Message::Wait { backoff_ms } => {
+                obj.set("type", Value::Str("wait".into()));
+                obj.set("backoff_ms", Value::UInt(*backoff_ms));
+            }
+            Message::Done => {
+                obj.set("type", Value::Str("done".into()));
+            }
+            Message::StatusReport(report) => {
+                obj.set("type", Value::Str("status_report".into()));
+                obj.set("campaign", Value::Str(report.campaign.clone()));
+                obj.set("total", Value::UInt(report.total));
+                obj.set("completed", Value::UInt(report.completed));
+                obj.set("failed", Value::UInt(report.failed));
+                obj.set("queued", Value::UInt(report.queued));
+                obj.set("leased", Value::UInt(report.leased));
+                obj.set("draining", Value::Bool(report.draining));
+            }
+            Message::Error { message } => {
+                obj.set("type", Value::Str("error".into()));
+                obj.set("message", Value::Str(message.clone()));
+            }
+        }
+        obj.to_json()
+    }
+
+    /// Decodes one line back into a message.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid JSON, a missing/unknown `type` tag, or missing
+    /// required fields.
+    pub fn parse(line: &str) -> Result<Message, String> {
+        let v = Value::parse(line).map_err(|e| e.to_string())?;
+        let tag = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("message missing type tag")?;
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{tag} message missing {name:?}"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{tag} message missing {name:?}"))
+        };
+        match tag {
+            "hello" => Ok(Message::Hello {
+                worker: str_field("worker")?,
+                protocol: u64_field("protocol")?,
+            }),
+            "lease_request" => Ok(Message::LeaseRequest {
+                worker: str_field("worker")?,
+                max_jobs: u64_field("max_jobs")?,
+            }),
+            "heartbeat" => {
+                let lease_ids = v
+                    .get("lease_ids")
+                    .and_then(Value::as_array)
+                    .ok_or("heartbeat missing lease_ids")?
+                    .iter()
+                    .map(|id| id.as_u64().ok_or("bad lease id"))
+                    .collect::<Result<Vec<u64>, _>>()?;
+                Ok(Message::Heartbeat {
+                    worker: str_field("worker")?,
+                    lease_ids,
+                })
+            }
+            "result" => Ok(Message::Result {
+                worker: str_field("worker")?,
+                lease_id: u64_field("lease_id")?,
+                line: str_field("line")?,
+            }),
+            "status" => Ok(Message::Status),
+            "drain" => Ok(Message::Drain),
+            "goodbye" => Ok(Message::Goodbye {
+                worker: str_field("worker")?,
+            }),
+            "welcome" => Ok(Message::Welcome {
+                campaign: str_field("campaign")?,
+                seed: u64_field("seed")?,
+                total: u64_field("total")?,
+                heartbeat_ms: u64_field("heartbeat_ms")?,
+            }),
+            "grant" => {
+                let leases = v
+                    .get("leases")
+                    .and_then(Value::as_array)
+                    .ok_or("grant missing leases")?
+                    .iter()
+                    .map(|l| -> Result<Lease, String> {
+                        Ok(Lease {
+                            lease_id: l
+                                .get("lease_id")
+                                .and_then(Value::as_u64)
+                                .ok_or("lease missing lease_id")?,
+                            key: l
+                                .get("key")
+                                .and_then(Value::as_str)
+                                .ok_or("lease missing key")?
+                                .to_string(),
+                            seed: l
+                                .get("seed")
+                                .and_then(Value::as_u64)
+                                .ok_or("lease missing seed")?,
+                            deadline_ms: l
+                                .get("deadline_ms")
+                                .and_then(Value::as_u64)
+                                .ok_or("lease missing deadline_ms")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Message::Grant { leases })
+            }
+            "wait" => Ok(Message::Wait {
+                backoff_ms: u64_field("backoff_ms")?,
+            }),
+            "done" => Ok(Message::Done),
+            "status_report" => Ok(Message::StatusReport(StatusReport {
+                campaign: str_field("campaign")?,
+                total: u64_field("total")?,
+                completed: u64_field("completed")?,
+                failed: u64_field("failed")?,
+                queued: u64_field("queued")?,
+                leased: u64_field("leased")?,
+                draining: v
+                    .get("draining")
+                    .and_then(Value::as_bool)
+                    .ok_or("status_report missing draining")?,
+            })),
+            "error" => Ok(Message::Error {
+                message: str_field("message")?,
+            }),
+            other => Err(format!("unknown message type {other:?}")),
+        }
+    }
+}
+
+impl StatusReport {
+    /// The report as pretty-enough JSON for the `status` subcommand.
+    pub fn to_json(&self) -> String {
+        Message::StatusReport(self.clone()).to_line()
+    }
+}
+
+/// Writes one message as a line and flushes it (one message = one
+/// `write_all` under the caller's lock, so concurrent writers — the
+/// worker's main loop and its heartbeat thread — never interleave bytes).
+pub fn write_message<W: Write>(writer: &mut W, message: &Message) -> io::Result<()> {
+    let mut line = message.to_line();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads the next message. `Ok(None)` means the peer closed the
+/// connection cleanly; a malformed line is an error (the protocol has no
+/// resync point).
+pub fn read_message<R: BufRead>(reader: &mut R) -> io::Result<Option<Message>> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let trimmed = line.trim_end_matches(['\r', '\n']);
+    if trimmed.is_empty() {
+        return read_message(reader);
+    }
+    Message::parse(trimmed)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_round_trip() {
+        let messages = vec![
+            Message::Hello {
+                worker: "w1".into(),
+                protocol: PROTOCOL_VERSION,
+            },
+            Message::LeaseRequest {
+                worker: "w1".into(),
+                max_jobs: 4,
+            },
+            Message::Heartbeat {
+                worker: "w1".into(),
+                lease_ids: vec![1, 2, 3],
+            },
+            Message::Result {
+                worker: "w1".into(),
+                lease_id: 9,
+                line: "{\"key\":\"a/b\",\"seed\":1,\"status\":\"ok\",\"payload\":7}".into(),
+            },
+            Message::Status,
+            Message::Drain,
+            Message::Goodbye {
+                worker: "w1".into(),
+            },
+            Message::Welcome {
+                campaign: "run_all".into(),
+                seed: u64::MAX - 1,
+                total: 140,
+                heartbeat_ms: 2000,
+            },
+            Message::Grant {
+                leases: vec![Lease {
+                    lease_id: 1,
+                    key: "table2/tachyon-1/proposed/0".into(),
+                    seed: 0xDEAD_BEEF_CAFE_F00D,
+                    deadline_ms: 30_000,
+                }],
+            },
+            Message::Wait { backoff_ms: 500 },
+            Message::Done,
+            Message::StatusReport(StatusReport {
+                campaign: "suite".into(),
+                total: 45,
+                completed: 40,
+                failed: 1,
+                queued: 2,
+                leased: 2,
+                draining: true,
+            }),
+            Message::Error {
+                message: "protocol mismatch".into(),
+            },
+        ];
+        for message in messages {
+            let line = message.to_line();
+            assert!(!line.contains('\n'), "single line: {line}");
+            let back = Message::parse(&line).expect("parse");
+            assert_eq!(back, message, "round trip of {line}");
+        }
+    }
+
+    #[test]
+    fn result_lines_with_quotes_survive_embedding() {
+        let inner =
+            "{\"key\":\"x\",\"seed\":2,\"status\":\"panicked\",\"error\":\"said \\\"no\\\"\"}";
+        let message = Message::Result {
+            worker: "w".into(),
+            lease_id: 1,
+            line: inner.into(),
+        };
+        let back = Message::parse(&message.to_line()).expect("parse");
+        assert_eq!(back, message);
+    }
+
+    #[test]
+    fn stream_reader_handles_eof_and_blank_lines() {
+        let text = "\n{\"type\":\"done\"}\n";
+        let mut reader = std::io::BufReader::new(text.as_bytes());
+        assert_eq!(
+            read_message(&mut reader).expect("read"),
+            Some(Message::Done)
+        );
+        assert_eq!(read_message(&mut reader).expect("read"), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        let mut reader = std::io::BufReader::new("not json\n".as_bytes());
+        assert!(read_message(&mut reader).is_err());
+        assert!(Message::parse("{\"type\":\"warp\"}").is_err());
+        assert!(Message::parse("{\"no_type\":1}").is_err());
+    }
+}

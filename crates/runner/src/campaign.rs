@@ -207,6 +207,23 @@ impl<T: Send + 'static> Campaign<T> {
         job_seed(self.seed, key)
     }
 
+    /// The job registered under `key`, if any (jobs are `Clone`, so a
+    /// remote worker can pull individual leased jobs out of a locally
+    /// rebuilt campaign).
+    pub fn job(&self, key: &str) -> Option<&Job<T>> {
+        self.jobs.iter().find(|j| j.key == key)
+    }
+
+    /// The keys of all registered jobs, in registration order.
+    pub fn job_keys(&self) -> Vec<String> {
+        self.jobs.iter().map(|j| j.key.clone()).collect()
+    }
+
+    /// The attached payload codec, if any.
+    pub fn codec(&self) -> Option<&Codec<T>> {
+        self.codec.as_ref()
+    }
+
     /// Runs the campaign and returns its report. Records are sorted by key,
     /// so a report is directly comparable across worker counts and resumes.
     ///
@@ -334,6 +351,38 @@ impl<T: Send + 'static> Campaign<T> {
             records,
             stats,
         }
+    }
+}
+
+/// The schedule-independent identity of a campaign's jobs — everything a
+/// remote dispatcher needs to hand out work without holding the work
+/// functions themselves. A coordinator sees a campaign only through this
+/// trait: names, keys, and derived seeds; the closures stay on the
+/// workers, which rebuild the same campaign locally.
+pub trait JobSource {
+    /// Campaign name (shown in progress lines and handshakes).
+    fn source_name(&self) -> &str;
+    /// The campaign seed all per-job seeds derive from.
+    fn source_seed(&self) -> u64;
+    /// Every job key, in registration order.
+    fn source_keys(&self) -> Vec<String>;
+    /// The derived seed for one key (defaults to [`job_seed`]).
+    fn source_seed_for(&self, key: &str) -> u64 {
+        job_seed(self.source_seed(), key)
+    }
+}
+
+impl<T: Send + 'static> JobSource for Campaign<T> {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+
+    fn source_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn source_keys(&self) -> Vec<String> {
+        self.job_keys()
     }
 }
 

@@ -472,6 +472,38 @@ mod tests {
     }
 
     #[test]
+    fn merge_skips_torn_trailing_line_in_any_input() {
+        let dir = temp_dir("merge-torn");
+        // Both inputs end in a torn line (interrupted shard processes);
+        // neither torn fragment may surface in the merge, and neither may
+        // take the whole input down with it.
+        let shard1 = dir.join("shard1.jsonl");
+        let shard2 = dir.join("shard2.jsonl");
+        std::fs::write(
+            &shard1,
+            "{\"key\":\"a\",\"seed\":1,\"status\":\"ok\",\"payload\":10}\n\
+             {\"key\":\"b\",\"se",
+        )
+        .expect("write");
+        std::fs::write(
+            &shard2,
+            "{\"key\":\"c\",\"seed\":3,\"status\":\"ok\",\"payload\":30}\n\
+             {\"key\":\"d\",\"seed\":4,\"status\":\"ok\",\"pa",
+        )
+        .expect("write");
+        let out = dir.join("merged.jsonl");
+        let n = merge(&[shard1, shard2], &out).expect("merge");
+        // The shard2 torn line still parses far enough to lack a valid
+        // shape only if truncated mid-token; `{"key":"d",...,"pa` is
+        // invalid JSON, so only the two complete records survive.
+        assert_eq!(n, 2);
+        let loaded = load(&out, &u64_codec()).expect("load merged");
+        let keys: Vec<&str> = loaded.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["a", "c"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn merge_output_may_be_an_input() {
         let dir = temp_dir("merge-inplace");
         let main = dir.join("main.jsonl");

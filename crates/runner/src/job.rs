@@ -10,7 +10,6 @@ use thermorl_telemetry::Snapshot;
 pub type Work<T> = Arc<dyn Fn(u64) -> T + Send + Sync>;
 
 /// One independent unit of campaign work.
-#[derive(Clone)]
 pub struct Job<T> {
     /// Unique key within the campaign, e.g. `"table2/tachyon-1/linux/0"`.
     /// Keys are stable across runs: they address checkpoint records and
@@ -34,6 +33,17 @@ impl<T> Job<T> {
         Job {
             key,
             work: Arc::new(work),
+        }
+    }
+}
+
+// Manual impl: the derive would demand `T: Clone`, but cloning a job only
+// bumps the `Arc` on its work function.
+impl<T> Clone for Job<T> {
+    fn clone(&self) -> Self {
+        Job {
+            key: self.key.clone(),
+            work: Arc::clone(&self.work),
         }
     }
 }

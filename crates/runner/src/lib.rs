@@ -39,10 +39,10 @@ pub mod progress;
 pub mod seed;
 
 pub use campaign::{
-    run_outcome_codec, scenario_grid, Campaign, CampaignReport, PolicySpec, RunnerConfig,
+    run_outcome_codec, scenario_grid, Campaign, CampaignReport, JobSource, PolicySpec, RunnerConfig,
 };
-pub use checkpoint::{merge as merge_checkpoints, Codec};
+pub use checkpoint::{merge as merge_checkpoints, parse_line, record_line, Codec};
 pub use job::{Job, JobOutcome, JobRecord};
-pub use pool::{default_workers, par_map};
+pub use pool::{default_workers, par_map, run_jobs, PoolConfig};
 pub use progress::CampaignStats;
 pub use seed::{job_seed, shard_of};

@@ -1,0 +1,155 @@
+//! Property-based tests of checkpoint merging: the operation the shard
+//! and dispatch workflows lean on must be idempotent, order-insensitive
+//! on disjoint shards, and last-wins on overlap.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use thermorl_runner::merge_checkpoints;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh per-case scratch directory (cases run sequentially but must
+/// not see each other's files).
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "thermorl-runner-props-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn line(key: &str, payload: u64) -> String {
+    format!("{{\"key\":\"{key}\",\"seed\":1,\"status\":\"ok\",\"payload\":{payload}}}")
+}
+
+/// Writes one shard file; entry `(k, payload)` becomes key `s{shard}/k{k}`
+/// (the shard prefix keeps different shards' key sets disjoint, while
+/// repeated `k` within one shard exercises last-wins inside a file).
+fn write_shard(dir: &std::path::Path, shard: usize, entries: &[(u8, u64)]) -> PathBuf {
+    let path = dir.join(format!("shard{shard}.jsonl"));
+    let mut text = String::new();
+    for (k, payload) in entries {
+        text.push_str(&line(&format!("s{shard}/k{k}"), *payload));
+        text.push('\n');
+    }
+    std::fs::write(&path, text).expect("write shard");
+    path
+}
+
+/// The merged file as a key → line map (order ignored).
+fn merged_map(path: &std::path::Path) -> HashMap<String, String> {
+    std::fs::read_to_string(path)
+        .expect("read merged")
+        .lines()
+        .map(|l| {
+            let key = l
+                .split("\"key\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .expect("line has a key");
+            (key.to_string(), l.to_string())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merging a merge's own output changes nothing, byte for byte.
+    #[test]
+    fn merge_is_idempotent(
+        shards in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, 0u64..1000), 0..8),
+            1..4,
+        ),
+    ) {
+        let dir = temp_dir();
+        let inputs: Vec<PathBuf> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, entries)| write_shard(&dir, i, entries))
+            .collect();
+        let once = dir.join("once.jsonl");
+        let twice = dir.join("twice.jsonl");
+        let n1 = merge_checkpoints(&inputs, &once).expect("first merge");
+        let n2 = merge_checkpoints(std::slice::from_ref(&once), &twice).expect("second merge");
+        prop_assert_eq!(n1, n2);
+        // Re-merging the merged output must be a byte-identical no-op.
+        prop_assert_eq!(
+            std::fs::read(&once).expect("read once"),
+            std::fs::read(&twice).expect("read twice")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// With disjoint key sets the input order cannot matter: any
+    /// permutation merges to the same records.
+    #[test]
+    fn merge_is_order_insensitive_on_disjoint_shards(
+        shards in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, 0u64..1000), 0..8),
+            2..5,
+        ),
+        rotate_by in 0usize..4,
+    ) {
+        let dir = temp_dir();
+        let inputs: Vec<PathBuf> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, entries)| write_shard(&dir, i, entries))
+            .collect();
+        let mut permuted = inputs.clone();
+        let pivot = rotate_by % permuted.len();
+        permuted.rotate_left(pivot);
+        permuted.reverse();
+        let fwd = dir.join("fwd.jsonl");
+        let perm = dir.join("perm.jsonl");
+        let n1 = merge_checkpoints(&inputs, &fwd).expect("merge");
+        let n2 = merge_checkpoints(&permuted, &perm).expect("permuted merge");
+        prop_assert_eq!(n1, n2);
+        prop_assert_eq!(merged_map(&fwd), merged_map(&perm));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Each key's merged line is the last occurrence across the inputs in
+    /// merge order (within a file: top to bottom).
+    #[test]
+    fn merge_is_last_wins_per_key(
+        shards in proptest::collection::vec(
+            proptest::collection::vec((0u8..5, 0u64..1000), 0..8),
+            1..4,
+        ),
+    ) {
+        let dir = temp_dir();
+        // All shards share the prefix 0 so keys overlap across files.
+        let inputs: Vec<PathBuf> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, entries)| {
+                let path = dir.join(format!("overlap{i}.jsonl"));
+                let text: String = entries
+                    .iter()
+                    .map(|(k, payload)| line(&format!("s0/k{k}"), *payload) + "\n")
+                    .collect();
+                std::fs::write(&path, text).expect("write shard");
+                path
+            })
+            .collect();
+        let mut expected: HashMap<String, String> = HashMap::new();
+        for entries in &shards {
+            for (k, payload) in entries {
+                expected.insert(format!("s0/k{k}"), line(&format!("s0/k{k}"), *payload));
+            }
+        }
+        let out = dir.join("merged.jsonl");
+        let n = merge_checkpoints(&inputs, &out).expect("merge");
+        prop_assert_eq!(n, expected.len());
+        prop_assert_eq!(merged_map(&out), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
