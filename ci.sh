@@ -13,6 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build (telemetry compiled out) =="
 cargo build -q -p thermorl-bench --no-default-features
 cargo build -q -p thermorl-dispatch --no-default-features
+cargo build -q -p thermorl-serve --no-default-features
 
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
@@ -32,7 +33,8 @@ echo "== dispatch loopback smoke (serve + status + work) =="
 # wall-clock bounded; `wait` propagates serve's exit code (nonzero if
 # any dispatched job failed).
 SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR" "$SERVE_DIR"' EXIT
 timeout 300 cargo run --release -q -p thermorl-bench --bin run_all -- \
     dispatch serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr" \
     --store "$SMOKE_DIR/store.jsonl" --filter fig1/ \
@@ -47,5 +49,43 @@ timeout 300 cargo run --release -q -p thermorl-bench --bin run_all -- \
 wait "$SERVE_PID"
 grep -q '"dispatch.leases_granted"' "$SMOKE_DIR/telemetry.json" \
     || { echo "dispatch telemetry missing lease counters"; exit 1; }
+
+echo "== serve loopback smoke (run + bench + kill -9 + restart + recovery) =="
+# A real supervisor on an ephemeral port: drive 8 dies for 500 observes,
+# SIGKILL the supervisor (no final snapshot pass), restart it on the same
+# store, and assert the second load run resumes all 8 sessions from their
+# periodic snapshots instead of starting fresh.
+timeout 300 cargo run --release -q -p thermorl-bench --bin serve -- \
+    run --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/addr" \
+    --store "$SERVE_DIR/snapshots.jsonl" --quiet &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -s "$SERVE_DIR/addr" ] && break; sleep 0.1; done
+[ -s "$SERVE_DIR/addr" ] || { echo "supervisor never bound"; exit 1; }
+timeout 120 cargo run --release -q -p thermorl-bench --bin serve -- \
+    bench --addr-file "$SERVE_DIR/addr" --dies 8 --requests 500 --rate 4000 \
+    --out "$SERVE_DIR/bench_before_kill.json" > /dev/null
+# SIGKILL the supervisor *binary*, not the timeout/cargo wrapper —
+# killing the wrapper would orphan the server and skip the crash.
+pkill -9 -f "serve run --addr 127.0.0.1:0 --addr-file $SERVE_DIR/addr " \
+    || kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+timeout 300 cargo run --release -q -p thermorl-bench --bin serve -- \
+    run --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/addr2" \
+    --store "$SERVE_DIR/snapshots.jsonl" --quiet &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -s "$SERVE_DIR/addr2" ] && break; sleep 0.1; done
+[ -s "$SERVE_DIR/addr2" ] || { echo "restarted supervisor never bound"; exit 1; }
+timeout 120 cargo run --release -q -p thermorl-bench --bin serve -- \
+    bench --addr-file "$SERVE_DIR/addr2" --dies 8 --requests 500 --rate 4000 \
+    --out "$SERVE_DIR/bench_after_restart.json" > /dev/null
+grep -q '"resumed_dies":8' "$SERVE_DIR/bench_after_restart.json" \
+    || { echo "restarted supervisor did not resume the 8 die sessions"; exit 1; }
+
+echo "== serve bench --quick (regenerate BENCH_serve.json) =="
+timeout 120 cargo run --release -q -p thermorl-bench --bin serve -- \
+    bench --addr-file "$SERVE_DIR/addr2" --quick --out BENCH_serve.json > /dev/null
+timeout 60 cargo run --release -q -p thermorl-bench --bin serve -- \
+    shutdown --addr-file "$SERVE_DIR/addr2"
+wait "$SERVE_PID"
 
 echo "CI OK"

@@ -1,0 +1,20 @@
+//! The online serving CLI: supervisor, load generator, and control
+//! messages (see [`thermorl_serve::serve_command`] for the flags).
+//!
+//! ```text
+//! cargo run --release -p thermorl-bench --bin serve -- run --addr 127.0.0.1:4078 --store snapshots.jsonl
+//! cargo run --release -p thermorl-bench --bin serve -- bench --addr 127.0.0.1:4078 --quick
+//! cargo run --release -p thermorl-bench --bin serve -- stats --addr 127.0.0.1:4078
+//! cargo run --release -p thermorl-bench --bin serve -- shutdown --addr 127.0.0.1:4078
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match thermorl_serve::serve_command(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("serve: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -12,6 +12,7 @@ use crate::alpha::{AlphaSchedule, LearningPhase};
 use crate::config::ControlConfig;
 use crate::ma::{MovingAverageDetector, WorkloadChange};
 use crate::qtable::QTable;
+use crate::snapshot::AgentSnapshot;
 use crate::state::StateId;
 
 /// The proposed DAC'14 controller (Algorithm 1 of the paper).
@@ -50,6 +51,10 @@ pub struct DasDac14Controller {
     use_static_until: u64,
     /// Pending warm-start state applied at `on_start`.
     warm_start: Option<(Vec<f64>, f64)>,
+    /// The `(num_threads, num_cores)` pair `on_start` ran with — the
+    /// action space's build inputs, recorded so a snapshot can rebuild
+    /// an identical space on restore.
+    started: Option<(usize, usize)>,
     name: String,
 }
 
@@ -108,6 +113,7 @@ impl DasDac14Controller {
             last_decision: None,
             use_static_until: 0,
             warm_start: None,
+            started: None,
             qtable: None,
             q_exp: None,
             name: "proposed-dac14".to_string(),
@@ -252,6 +258,80 @@ impl DasDac14Controller {
         }
     }
 
+    /// Serializes every mutable field of a started agent, so that
+    /// [`DasDac14Controller::restore`] under the same configuration
+    /// continues the decision stream bit-identically. Returns `None`
+    /// before `on_start` (there is nothing to resume yet).
+    pub fn snapshot(&self) -> Option<AgentSnapshot> {
+        let (num_threads, num_cores) = self.started?;
+        let qtable = self.qtable.as_ref()?;
+        let (detector_stress, detector_aging, detector_prev_ma) = self.detector.history();
+        Some(AgentSnapshot {
+            num_threads,
+            num_cores,
+            name: self.name.clone(),
+            qtable: qtable.snapshot(),
+            q_exp: self.q_exp.clone(),
+            alpha: self.alpha.alpha(),
+            rng_state: self.rng.state(),
+            detector_stress,
+            detector_aging,
+            detector_prev_ma,
+            trec: self.trec.clone(),
+            prev: self.prev.map(|(s, a)| (s.index(), a)),
+            epochs: self.epochs,
+            explore_actions: self.explore_actions,
+            intra_events: self.intra_events,
+            inter_events: self.inter_events,
+            last_policy: self.last_policy.clone(),
+            stable_epochs: self.stable_epochs as u64,
+            convergence_epoch: self.convergence_epoch,
+            use_static_until: self.use_static_until,
+            last_decision: self.last_decision,
+        })
+    }
+
+    /// Rebuilds a live, already-started agent from a
+    /// [`DasDac14Controller::snapshot`]. `cfg` must be the configuration
+    /// the donor agent ran with — only mutable state travels in the
+    /// snapshot; structure (state space, thresholds, OPP table) comes
+    /// from `cfg`, and a mismatched table size panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid or the snapshot's Q-table length does
+    /// not match the state × action dimensions `cfg` implies.
+    pub fn restore(cfg: ControlConfig, snap: &AgentSnapshot) -> Self {
+        let mut agent = DasDac14Controller::new(cfg, 0);
+        agent.on_start(snap.num_threads, snap.num_cores);
+        agent
+            .qtable
+            .as_mut()
+            .expect("on_start builds the table")
+            .restore(&snap.qtable);
+        agent.q_exp = snap.q_exp.clone();
+        agent.alpha.restore_alpha(snap.alpha);
+        agent.detector.restore_history(
+            &snap.detector_stress,
+            &snap.detector_aging,
+            snap.detector_prev_ma,
+        );
+        agent.rng = StdRng::from_state(snap.rng_state);
+        agent.trec = snap.trec.clone();
+        agent.prev = snap.prev.map(|(s, a)| (StateId(s), a));
+        agent.epochs = snap.epochs;
+        agent.explore_actions = snap.explore_actions;
+        agent.intra_events = snap.intra_events;
+        agent.inter_events = snap.inter_events;
+        agent.last_policy = snap.last_policy.clone();
+        agent.stable_epochs = snap.stable_epochs as usize;
+        agent.convergence_epoch = snap.convergence_epoch;
+        agent.use_static_until = snap.use_static_until;
+        agent.last_decision = snap.last_decision;
+        agent.name = snap.name.clone();
+        agent
+    }
+
     /// Greedy action of the static `Q_exp` table for `state`.
     fn best_static_action(&self, state: StateId, n: usize) -> usize {
         match &self.q_exp {
@@ -288,6 +368,7 @@ impl ThermalController for DasDac14Controller {
     }
 
     fn on_start(&mut self, num_threads: usize, num_cores: usize) {
+        self.started = Some((num_threads, num_cores));
         if self.actions.is_none() {
             self.actions = Some(ActionSpace::paper_default(
                 num_threads,
@@ -678,6 +759,67 @@ mod tests {
             "end-of-exploration snapshot event missing"
         );
         assert!(a.explore_actions() > 0, "exploration must be counted");
+    }
+
+    /// The serving-layer contract: snapshot → JSON → restore mid-run, and
+    /// the restored agent's decision stream is bit-identical to the donor
+    /// continuing uninterrupted — table bits, RNG draws, and counters.
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let cfg = ControlConfig {
+            epoch_samples: 4,
+            ..ControlConfig::default()
+        };
+        let mut donor = DasDac14Controller::new(cfg.clone(), 9);
+        donor.on_start(6, 4);
+        // Past exploration, with a live Q_exp and detector history; stop
+        // mid-epoch (2 of 4 samples) so the partial TRec window travels.
+        feed(&mut donor, 17, |k| 42.0 + (k % 5) as f64);
+        let freqs = [3.4; 4];
+        for k in 0..2 {
+            let temps = [50.0, 51.0, 49.0, 50.0];
+            assert!(donor
+                .on_sample(&obs(&temps, &freqs, k as f64 * 3.0))
+                .is_none());
+        }
+
+        let snap = donor.snapshot().expect("started agent snapshots");
+        let line = snap.to_value().to_json();
+        let decoded = crate::AgentSnapshot::from_value(
+            &thermorl_sim::json::Value::parse(&line).expect("parse"),
+        )
+        .expect("decode");
+        assert_eq!(decoded, snap);
+        let mut twin = DasDac14Controller::restore(cfg, &decoded);
+
+        // Drive both through a further stretch that includes a workload
+        // switch (exercising detector + reset paths) and compare every
+        // decision.
+        for k in 0..30 * 4u64 {
+            let t = if k < 60 { 45.0 + (k % 3) as f64 } else { 72.0 };
+            let temps = [t, t + 1.0, t - 1.0, t];
+            let a = donor.on_sample(&obs(&temps, &freqs, k as f64 * 3.0));
+            let b = twin.on_sample(&obs(&temps, &freqs, k as f64 * 3.0));
+            match (&a, &b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert_eq!(x, y, "diverged at sample {k}"),
+                _ => panic!("decision cadence diverged at sample {k}"),
+            }
+            assert_eq!(donor.last_decision(), twin.last_decision());
+        }
+        assert_eq!(donor.epochs(), twin.epochs());
+        assert_eq!(donor.explore_actions(), twin.explore_actions());
+        assert_eq!(donor.inter_events(), twin.inter_events());
+        let (qa, qb) = (donor.export_table().unwrap(), twin.export_table().unwrap());
+        for (x, y) in qa.iter().zip(&qb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "Q-table bits diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_before_start_is_none() {
+        let a = DasDac14Controller::new(ControlConfig::default(), 1);
+        assert!(a.snapshot().is_none());
     }
 
     #[test]

@@ -117,6 +117,12 @@ impl AlphaSchedule {
     pub fn restore_exp(&mut self) {
         self.alpha = self.alpha_exp;
     }
+
+    /// Sets α directly, clamped to `[0, 1]` — the snapshot-restore path
+    /// (a serialized agent resumes mid-decay without replaying steps).
+    pub fn restore_alpha(&mut self, alpha: f64) {
+        self.alpha = alpha.clamp(0.0, 1.0);
+    }
 }
 
 #[cfg(test)]

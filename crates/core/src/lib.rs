@@ -51,6 +51,7 @@ pub mod config;
 pub mod ma;
 pub mod qtable;
 pub mod reward;
+pub mod snapshot;
 pub mod state;
 
 pub use action::{Action, ActionSpace};
@@ -60,4 +61,5 @@ pub use config::ControlConfig;
 pub use ma::{MovingAverageDetector, WorkloadChange};
 pub use qtable::QTable;
 pub use reward::RewardFunction;
+pub use snapshot::AgentSnapshot;
 pub use state::{StateId, StateSpace};

@@ -154,6 +154,34 @@ impl MovingAverageDetector {
         self.aging_hist.clear();
         self.prev_ma = None;
     }
+
+    /// The mutable detector state `(stress history, aging history,
+    /// previous moving average)` — the snapshot side of serialization;
+    /// thresholds and window come from configuration.
+    pub fn history(&self) -> (Vec<f64>, Vec<f64>, Option<(f64, f64)>) {
+        (
+            self.stress_hist.iter().copied().collect(),
+            self.aging_hist.iter().copied().collect(),
+            self.prev_ma,
+        )
+    }
+
+    /// Restores state captured by [`MovingAverageDetector::history`].
+    /// Histories longer than the configured window are truncated to their
+    /// most recent entries.
+    pub fn restore_history(&mut self, stress: &[f64], aging: &[f64], prev_ma: Option<(f64, f64)>) {
+        self.stress_hist = stress
+            .iter()
+            .skip(stress.len().saturating_sub(self.window))
+            .copied()
+            .collect();
+        self.aging_hist = aging
+            .iter()
+            .skip(aging.len().saturating_sub(self.window))
+            .copied()
+            .collect();
+        self.prev_ma = prev_ma;
+    }
 }
 
 #[cfg(test)]

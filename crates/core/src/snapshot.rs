@@ -1,0 +1,342 @@
+//! Full-state agent serialization for online serving.
+//!
+//! A batch campaign never needs to persist a *live* agent — every run
+//! starts from `on_start`. The serving layer (`thermorl-serve`) does: a
+//! supervisor managing thousands of dies snapshots each session's agent
+//! periodically and must resume it **bit-identically** after a crash, so
+//! that a restarted server emits exactly the decision stream an
+//! uninterrupted one would have. [`AgentSnapshot`] therefore captures
+//! every piece of mutable controller state — both Q-tables, the α decay
+//! position, the detector's moving-average history, the ε-greedy RNG
+//! stream, the partial sensor window `TRec`, and all bookkeeping counters
+//! — while immutable configuration stays outside (the restore side
+//! supplies the same [`crate::ControlConfig`]).
+//!
+//! Floats travel through the shortest-round-trip JSON form (`{:?}` emit,
+//! `str::parse::<f64>` read), which is exact for every finite `f64`, so
+//! serialize → restore → step produces the same bits as never
+//! snapshotting.
+
+use thermorl_sim::json::{JsonError, Value};
+
+use crate::agent::EpochDecision;
+use crate::state::StateId;
+
+/// Every mutable field of a live [`crate::DasDac14Controller`].
+///
+/// Produced by [`crate::DasDac14Controller::snapshot`] (after `on_start`)
+/// and consumed by [`crate::DasDac14Controller::restore`]. The JSON codec
+/// ([`AgentSnapshot::to_value`] / [`AgentSnapshot::from_value`]) is
+/// self-describing and versioned by field presence: optional state is
+/// simply omitted when absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentSnapshot {
+    /// Thread count the action space was built for at `on_start`.
+    pub num_threads: usize,
+    /// Core count (`TRec` width / sensor count).
+    pub num_cores: usize,
+    /// Controller name (ablation variants keep their label on restore).
+    pub name: String,
+    /// The live Q-table values (row-major states × actions).
+    pub qtable: Vec<f64>,
+    /// The static `Q_exp` snapshot, when exploration has produced one.
+    pub q_exp: Option<Vec<f64>>,
+    /// Current learning rate α (decay position within the schedule).
+    pub alpha: f64,
+    /// Raw splitmix64 state of the ε-greedy RNG.
+    pub rng_state: u64,
+    /// Detector stress moving-average history.
+    pub detector_stress: Vec<f64>,
+    /// Detector aging moving-average history.
+    pub detector_aging: Vec<f64>,
+    /// Detector previous moving average `(MA_s, MA_a)`.
+    pub detector_prev_ma: Option<(f64, f64)>,
+    /// Partial decision-epoch sample window, one buffer per core.
+    pub trec: Vec<Vec<f64>>,
+    /// Previous `(state index, action)` pair awaiting its reward.
+    pub prev: Option<(usize, usize)>,
+    /// Decision epochs completed.
+    pub epochs: u64,
+    /// Exploratory decisions taken.
+    pub explore_actions: u64,
+    /// Intra-application adaptations performed.
+    pub intra_events: u64,
+    /// Inter-application relearning resets performed.
+    pub inter_events: u64,
+    /// Greedy policy at the last epoch (convergence bookkeeping).
+    pub last_policy: Vec<usize>,
+    /// Consecutive epochs with a stable greedy policy.
+    pub stable_epochs: u64,
+    /// Epoch at which convergence was declared, if it was.
+    pub convergence_epoch: Option<u64>,
+    /// Epoch until which actions come from the static table (intra
+    /// adaptation window).
+    pub use_static_until: u64,
+    /// Telemetry of the most recent decision epoch.
+    pub last_decision: Option<EpochDecision>,
+}
+
+fn f64_arr(values: &[f64]) -> Value {
+    Value::Arr(values.iter().map(|&v| Value::num(v)).collect())
+}
+
+fn usize_arr(values: &[usize]) -> Value {
+    Value::Arr(values.iter().map(|&v| Value::UInt(v as u64)).collect())
+}
+
+fn get_f64_arr(v: &Value, name: &str) -> Result<Vec<f64>, JsonError> {
+    v.get(name)
+        .and_then(Value::as_array)
+        .ok_or_else(|| JsonError::new(format!("agent snapshot missing {name:?}")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| JsonError::new(format!("bad float in {name:?}")))
+        })
+        .collect()
+}
+
+fn get_usize_arr(v: &Value, name: &str) -> Result<Vec<usize>, JsonError> {
+    v.get(name)
+        .and_then(Value::as_array)
+        .ok_or_else(|| JsonError::new(format!("agent snapshot missing {name:?}")))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|u| u as usize)
+                .ok_or_else(|| JsonError::new(format!("bad integer in {name:?}")))
+        })
+        .collect()
+}
+
+fn get_u64(v: &Value, name: &str) -> Result<u64, JsonError> {
+    v.get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| JsonError::new(format!("agent snapshot missing {name:?}")))
+}
+
+fn get_f64(v: &Value, name: &str) -> Result<f64, JsonError> {
+    v.get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| JsonError::new(format!("agent snapshot missing {name:?}")))
+}
+
+impl AgentSnapshot {
+    /// Encodes the snapshot as a JSON object value.
+    pub fn to_value(&self) -> Value {
+        let mut obj = Value::object();
+        obj.set("num_threads", Value::UInt(self.num_threads as u64));
+        obj.set("num_cores", Value::UInt(self.num_cores as u64));
+        obj.set("name", Value::Str(self.name.clone()));
+        obj.set("qtable", f64_arr(&self.qtable));
+        if let Some(q_exp) = &self.q_exp {
+            obj.set("q_exp", f64_arr(q_exp));
+        }
+        obj.set("alpha", Value::num(self.alpha));
+        obj.set("rng_state", Value::UInt(self.rng_state));
+        obj.set("detector_stress", f64_arr(&self.detector_stress));
+        obj.set("detector_aging", f64_arr(&self.detector_aging));
+        if let Some((s, a)) = self.detector_prev_ma {
+            obj.set("detector_prev_ma", f64_arr(&[s, a]));
+        }
+        obj.set(
+            "trec",
+            Value::Arr(self.trec.iter().map(|core| f64_arr(core)).collect()),
+        );
+        if let Some((state, action)) = self.prev {
+            obj.set("prev", usize_arr(&[state, action]));
+        }
+        obj.set("epochs", Value::UInt(self.epochs));
+        obj.set("explore_actions", Value::UInt(self.explore_actions));
+        obj.set("intra_events", Value::UInt(self.intra_events));
+        obj.set("inter_events", Value::UInt(self.inter_events));
+        obj.set("last_policy", usize_arr(&self.last_policy));
+        obj.set("stable_epochs", Value::UInt(self.stable_epochs));
+        if let Some(epoch) = self.convergence_epoch {
+            obj.set("convergence_epoch", Value::UInt(epoch));
+        }
+        obj.set("use_static_until", Value::UInt(self.use_static_until));
+        if let Some(d) = &self.last_decision {
+            let mut dec = Value::object();
+            dec.set("stress", Value::num(d.stress));
+            dec.set("aging", Value::num(d.aging));
+            dec.set("state", Value::UInt(d.state.index() as u64));
+            dec.set("action", Value::UInt(d.action as u64));
+            dec.set("reward", Value::num(d.reward));
+            dec.set("alpha", Value::num(d.alpha));
+            obj.set("last_decision", dec);
+        }
+        obj
+    }
+
+    /// Decodes a snapshot from [`AgentSnapshot::to_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing or mistyped fields.
+    pub fn from_value(v: &Value) -> Result<AgentSnapshot, JsonError> {
+        let pair = |name: &str| -> Result<Option<(f64, f64)>, JsonError> {
+            match v.get(name).and_then(Value::as_array) {
+                None => Ok(None),
+                Some([a, b]) => Ok(Some((
+                    a.as_f64()
+                        .ok_or_else(|| JsonError::new(format!("bad float in {name:?}")))?,
+                    b.as_f64()
+                        .ok_or_else(|| JsonError::new(format!("bad float in {name:?}")))?,
+                ))),
+                Some(_) => Err(JsonError::new(format!("{name:?} must have two entries"))),
+            }
+        };
+        let trec = v
+            .get("trec")
+            .and_then(Value::as_array)
+            .ok_or_else(|| JsonError::new("agent snapshot missing \"trec\""))?
+            .iter()
+            .map(|core| {
+                core.as_array()
+                    .ok_or_else(|| JsonError::new("trec rows must be arrays"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| JsonError::new("bad float in \"trec\""))
+                    })
+                    .collect::<Result<Vec<f64>, JsonError>>()
+            })
+            .collect::<Result<Vec<Vec<f64>>, JsonError>>()?;
+        let prev = match v.get("prev").and_then(Value::as_array) {
+            None => None,
+            Some([s, a]) => Some((
+                s.as_u64()
+                    .ok_or_else(|| JsonError::new("bad state in \"prev\""))?
+                    as usize,
+                a.as_u64()
+                    .ok_or_else(|| JsonError::new("bad action in \"prev\""))?
+                    as usize,
+            )),
+            Some(_) => return Err(JsonError::new("\"prev\" must have two entries")),
+        };
+        let last_decision = match v.get("last_decision") {
+            None => None,
+            Some(dec) => Some(EpochDecision {
+                stress: get_f64(dec, "stress")?,
+                aging: get_f64(dec, "aging")?,
+                state: StateId(get_u64(dec, "state")? as usize),
+                action: get_u64(dec, "action")? as usize,
+                reward: get_f64(dec, "reward")?,
+                alpha: get_f64(dec, "alpha")?,
+            }),
+        };
+        Ok(AgentSnapshot {
+            num_threads: get_u64(v, "num_threads")? as usize,
+            num_cores: get_u64(v, "num_cores")? as usize,
+            name: v
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::new("agent snapshot missing \"name\""))?
+                .to_string(),
+            qtable: get_f64_arr(v, "qtable")?,
+            q_exp: match v.get("q_exp") {
+                None => None,
+                Some(_) => Some(get_f64_arr(v, "q_exp")?),
+            },
+            alpha: get_f64(v, "alpha")?,
+            rng_state: get_u64(v, "rng_state")?,
+            detector_stress: get_f64_arr(v, "detector_stress")?,
+            detector_aging: get_f64_arr(v, "detector_aging")?,
+            detector_prev_ma: pair("detector_prev_ma")?,
+            trec,
+            prev,
+            epochs: get_u64(v, "epochs")?,
+            explore_actions: get_u64(v, "explore_actions")?,
+            intra_events: get_u64(v, "intra_events")?,
+            inter_events: get_u64(v, "inter_events")?,
+            last_policy: get_usize_arr(v, "last_policy")?,
+            stable_epochs: get_u64(v, "stable_epochs")?,
+            convergence_epoch: match v.get("convergence_epoch") {
+                None => None,
+                Some(_) => Some(get_u64(v, "convergence_epoch")?),
+            },
+            use_static_until: get_u64(v, "use_static_until")?,
+            last_decision,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AgentSnapshot {
+        AgentSnapshot {
+            num_threads: 6,
+            num_cores: 4,
+            name: "proposed-dac14".into(),
+            qtable: vec![0.0, 1.5, -2.25e-9, std::f64::consts::PI],
+            q_exp: Some(vec![0.5; 4]),
+            alpha: 0.3172,
+            rng_state: 0xDEAD_BEEF_0123_4567,
+            detector_stress: vec![1.0, 1.125],
+            detector_aging: vec![0.25],
+            detector_prev_ma: Some((1.0625, 0.25)),
+            trec: vec![vec![45.0, 46.5], vec![44.0], vec![], vec![47.25]],
+            prev: Some((3, 7)),
+            epochs: 19,
+            explore_actions: 11,
+            intra_events: 1,
+            inter_events: 2,
+            last_policy: vec![0, 3, 1, 1],
+            stable_epochs: 4,
+            convergence_epoch: Some(15),
+            use_static_until: 21,
+            last_decision: Some(EpochDecision {
+                stress: 0.7,
+                aging: 0.2,
+                state: StateId(5),
+                action: 7,
+                reward: -0.125,
+                alpha: 0.3172,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample();
+        let line = snap.to_value().to_json();
+        let back = AgentSnapshot::from_value(&Value::parse(&line).expect("parse")).expect("decode");
+        assert_eq!(back, snap);
+        // And the re-encoding is byte-identical (stable field order).
+        assert_eq!(back.to_value().to_json(), line);
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent() {
+        let mut snap = sample();
+        snap.q_exp = None;
+        snap.detector_prev_ma = None;
+        snap.prev = None;
+        snap.convergence_epoch = None;
+        snap.last_decision = None;
+        let line = snap.to_value().to_json();
+        let back = AgentSnapshot::from_value(&Value::parse(&line).expect("parse")).expect("decode");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn missing_required_fields_error() {
+        let mut obj = Value::object();
+        obj.set("num_threads", Value::UInt(6));
+        assert!(AgentSnapshot::from_value(&obj).is_err());
+    }
+
+    #[test]
+    fn extreme_floats_survive() {
+        let mut snap = sample();
+        snap.qtable = vec![f64::MIN_POSITIVE, f64::MAX, -0.0, 1e-308, f64::INFINITY];
+        let line = snap.to_value().to_json();
+        let back = AgentSnapshot::from_value(&Value::parse(&line).expect("parse")).expect("decode");
+        for (a, b) in back.qtable.iter().zip(&snap.qtable) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+}

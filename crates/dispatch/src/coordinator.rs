@@ -65,6 +65,11 @@ pub struct CoordinatorConfig {
     pub linger_ms: u64,
     /// Print progress lines to stderr.
     pub progress: bool,
+    /// Shared-secret auth token. When set, every worker's `hello` must
+    /// carry the same token or the handshake is rejected with an error
+    /// reply; control clients (status/drain) are unaffected — they bind
+    /// to the same trusted network position as the coordinator itself.
+    pub auth_token: Option<String>,
 }
 
 impl Default for CoordinatorConfig {
@@ -80,6 +85,7 @@ impl Default for CoordinatorConfig {
             wait_backoff_ms: 500,
             linger_ms: 2_000,
             progress: true,
+            auth_token: None,
         }
     }
 }
@@ -521,7 +527,11 @@ fn handle_connection(
             return Ok(()); // clean EOF
         };
         match message {
-            Message::Hello { worker, protocol } => {
+            Message::Hello {
+                worker,
+                protocol,
+                token,
+            } => {
                 if protocol != PROTOCOL_VERSION {
                     let error = Message::Error {
                         message: format!(
@@ -531,6 +541,25 @@ fn handle_connection(
                     };
                     write_message(&mut writer, &error)?;
                     return Ok(());
+                }
+                if let Some(expected) = &config.auth_token {
+                    if token.as_deref() != Some(expected.as_str()) {
+                        let error = Message::Error {
+                            message: format!(
+                                "authentication failed: worker {worker} presented \
+                                 {} token",
+                                if token.is_some() {
+                                    "a mismatched"
+                                } else {
+                                    "no"
+                                }
+                            ),
+                        };
+                        tel::counter!("dispatch.auth_rejected");
+                        tel::event!("dispatch.auth_rejected", "{worker}");
+                        write_message(&mut writer, &error)?;
+                        return Ok(());
+                    }
                 }
                 let welcome = {
                     let state = lock_state(state);

@@ -160,10 +160,11 @@ fn write_telemetry(path: &PathBuf, baseline: &tel::Snapshot, progress: bool) -> 
 ///   `--lease-ms N`, `--heartbeat-ms N`, `--max-retries N`,
 ///   `--linger-ms N` (post-resolution grace for worker `done` replies),
 ///   `--filter PREFIX` (serve only matching keys), `--telemetry [PATH]`,
+///   `--auth-token SECRET` (reject workers without the secret),
 ///   `--quiet`. Exits `0` only when every served job completed.
 /// * `work` — run jobs: `--coordinator HOST:PORT` or
 ///   `--coordinator-file PATH`, `--workers N`, `--timeout-s N`,
-///   `--name ID`, `--quiet`.
+///   `--name ID`, `--auth-token SECRET`, `--quiet`.
 /// * `status` / `drain` — print the coordinator's status report as one
 ///   JSON line (`drain` also stops new lease grants).
 ///
@@ -237,6 +238,9 @@ fn serve_command<T: Send + 'static>(
                 };
                 telemetry = Some(PathBuf::from(path));
             }
+            "--auth-token" => {
+                config.auth_token = Some(args.next().ok_or("--auth-token needs a value")?);
+            }
             "--quiet" => config.progress = false,
             other => return Err(format!("unknown dispatch serve flag {other:?}")),
         }
@@ -295,6 +299,9 @@ fn work_command<T: Send + 'static>(args: &[String], campaign: &Campaign<T>) -> R
                 config.timeout = Some(Duration::from_secs(parse_u64("--timeout-s", args.next())?));
             }
             "--name" => config.name = args.next().ok_or("--name needs a value")?,
+            "--auth-token" => {
+                config.auth_token = Some(args.next().ok_or("--auth-token needs a value")?);
+            }
             "--quiet" => config.progress = false,
             other => return Err(format!("unknown dispatch work flag {other:?}")),
         }

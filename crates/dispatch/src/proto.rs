@@ -23,6 +23,91 @@ use thermorl_sim::json::Value;
 /// so a stale worker binary fails loudly instead of mis-running jobs.
 pub const PROTOCOL_VERSION: u64 = 1;
 
+/// A message type that frames as one JSON line — the contract
+/// [`write_message`] / [`read_message`] work against, so other NDJSON
+/// protocols in the workspace (e.g. `thermorl-serve`) reuse this module's
+/// framing instead of reimplementing it.
+pub trait WireMessage: Sized {
+    /// Encodes the message as its single-line JSON form (no newline).
+    fn to_line(&self) -> String;
+
+    /// Decodes one line back into a message.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid JSON, a missing/unknown `type` tag, or missing
+    /// required fields.
+    fn parse(line: &str) -> Result<Self, String>;
+}
+
+/// Required string field of a parsed message object (`tag` names the
+/// message type in the error).
+///
+/// # Errors
+///
+/// Fails when the field is missing or not a string.
+pub fn str_field(v: &Value, tag: &str, name: &str) -> Result<String, String> {
+    v.get(name)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{tag} message missing {name:?}"))
+}
+
+/// Optional string field of a parsed message object.
+pub fn opt_str_field(v: &Value, name: &str) -> Option<String> {
+    v.get(name).and_then(Value::as_str).map(str::to_string)
+}
+
+/// Required unsigned integer field of a parsed message object.
+///
+/// # Errors
+///
+/// Fails when the field is missing or not an unsigned integer.
+pub fn u64_field(v: &Value, tag: &str, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{tag} message missing {name:?}"))
+}
+
+/// Required float field of a parsed message object.
+///
+/// # Errors
+///
+/// Fails when the field is missing or not a number.
+pub fn f64_field(v: &Value, tag: &str, name: &str) -> Result<f64, String> {
+    v.get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{tag} message missing {name:?}"))
+}
+
+/// Required bool field of a parsed message object.
+///
+/// # Errors
+///
+/// Fails when the field is missing or not a bool.
+pub fn bool_field(v: &Value, tag: &str, name: &str) -> Result<bool, String> {
+    v.get(name)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("{tag} message missing {name:?}"))
+}
+
+/// Required array-of-floats field of a parsed message object.
+///
+/// # Errors
+///
+/// Fails when the field is missing or any element is not a number.
+pub fn f64_arr_field(v: &Value, tag: &str, name: &str) -> Result<Vec<f64>, String> {
+    v.get(name)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{tag} message missing {name:?}"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("{tag} message has a bad number in {name:?}"))
+        })
+        .collect()
+}
+
 /// One leased job: the coordinator's promise that `key` is this worker's
 /// to run until `deadline_ms` elapses without a heartbeat.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +151,10 @@ pub enum Message {
         worker: String,
         /// Must equal [`PROTOCOL_VERSION`].
         protocol: u64,
+        /// Shared-secret auth token; must match the coordinator's
+        /// configured secret when it has one. `None` when the deployment
+        /// runs without authentication.
+        token: Option<String>,
     },
     /// Worker → coordinator: request up to `max_jobs` leases.
     LeaseRequest {
@@ -140,10 +229,17 @@ impl Message {
     pub fn to_line(&self) -> String {
         let mut obj = Value::object();
         match self {
-            Message::Hello { worker, protocol } => {
+            Message::Hello {
+                worker,
+                protocol,
+                token,
+            } => {
                 obj.set("type", Value::Str("hello".into()));
                 obj.set("worker", Value::Str(worker.clone()));
                 obj.set("protocol", Value::UInt(*protocol));
+                if let Some(token) = token {
+                    obj.set("token", Value::Str(token.clone()));
+                }
             }
             Message::LeaseRequest { worker, max_jobs } => {
                 obj.set("type", Value::Str("lease_request".into()));
@@ -242,21 +338,13 @@ impl Message {
             .get("type")
             .and_then(Value::as_str)
             .ok_or("message missing type tag")?;
-        let str_field = |name: &str| -> Result<String, String> {
-            v.get(name)
-                .and_then(Value::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("{tag} message missing {name:?}"))
-        };
-        let u64_field = |name: &str| -> Result<u64, String> {
-            v.get(name)
-                .and_then(Value::as_u64)
-                .ok_or_else(|| format!("{tag} message missing {name:?}"))
-        };
+        let str_field = |name: &str| crate::proto::str_field(&v, tag, name);
+        let u64_field = |name: &str| crate::proto::u64_field(&v, tag, name);
         match tag {
             "hello" => Ok(Message::Hello {
                 worker: str_field("worker")?,
                 protocol: u64_field("protocol")?,
+                token: opt_str_field(&v, "token"),
             }),
             "lease_request" => Ok(Message::LeaseRequest {
                 worker: str_field("worker")?,
@@ -332,16 +420,23 @@ impl Message {
                 failed: u64_field("failed")?,
                 queued: u64_field("queued")?,
                 leased: u64_field("leased")?,
-                draining: v
-                    .get("draining")
-                    .and_then(Value::as_bool)
-                    .ok_or("status_report missing draining")?,
+                draining: bool_field(&v, tag, "draining")?,
             })),
             "error" => Ok(Message::Error {
                 message: str_field("message")?,
             }),
             other => Err(format!("unknown message type {other:?}")),
         }
+    }
+}
+
+impl WireMessage for Message {
+    fn to_line(&self) -> String {
+        Message::to_line(self)
+    }
+
+    fn parse(line: &str) -> Result<Message, String> {
+        Message::parse(line)
     }
 }
 
@@ -355,7 +450,7 @@ impl StatusReport {
 /// Writes one message as a line and flushes it (one message = one
 /// `write_all` under the caller's lock, so concurrent writers — the
 /// worker's main loop and its heartbeat thread — never interleave bytes).
-pub fn write_message<W: Write>(writer: &mut W, message: &Message) -> io::Result<()> {
+pub fn write_message<W: Write, M: WireMessage>(writer: &mut W, message: &M) -> io::Result<()> {
     let mut line = message.to_line();
     line.push('\n');
     writer.write_all(line.as_bytes())?;
@@ -364,20 +459,22 @@ pub fn write_message<W: Write>(writer: &mut W, message: &Message) -> io::Result<
 
 /// Reads the next message. `Ok(None)` means the peer closed the
 /// connection cleanly; a malformed line is an error (the protocol has no
-/// resync point).
-pub fn read_message<R: BufRead>(reader: &mut R) -> io::Result<Option<Message>> {
-    let mut line = String::new();
-    let n = reader.read_line(&mut line)?;
-    if n == 0 {
-        return Ok(None);
+/// resync point). Blank lines are skipped.
+pub fn read_message<R: BufRead, M: WireMessage>(reader: &mut R) -> io::Result<Option<M>> {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        return M::parse(trimmed)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
     }
-    let trimmed = line.trim_end_matches(['\r', '\n']);
-    if trimmed.is_empty() {
-        return read_message(reader);
-    }
-    Message::parse(trimmed)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -390,6 +487,12 @@ mod tests {
             Message::Hello {
                 worker: "w1".into(),
                 protocol: PROTOCOL_VERSION,
+                token: None,
+            },
+            Message::Hello {
+                worker: "w2".into(),
+                protocol: PROTOCOL_VERSION,
+                token: Some("sesame".into()),
             },
             Message::LeaseRequest {
                 worker: "w1".into(),
@@ -467,13 +570,13 @@ mod tests {
             read_message(&mut reader).expect("read"),
             Some(Message::Done)
         );
-        assert_eq!(read_message(&mut reader).expect("read"), None);
+        assert_eq!(read_message::<_, Message>(&mut reader).expect("read"), None);
     }
 
     #[test]
     fn malformed_lines_are_errors() {
         let mut reader = std::io::BufReader::new("not json\n".as_bytes());
-        assert!(read_message(&mut reader).is_err());
+        assert!(read_message::<_, Message>(&mut reader).is_err());
         assert!(Message::parse("{\"type\":\"warp\"}").is_err());
         assert!(Message::parse("{\"no_type\":1}").is_err());
     }

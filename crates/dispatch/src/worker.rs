@@ -55,6 +55,9 @@ pub struct WorkerConfig {
     pub connect_backoff_ms: u64,
     /// Print progress lines to stderr.
     pub progress: bool,
+    /// Shared-secret auth token sent in `hello`; must match the
+    /// coordinator's configured secret when it has one.
+    pub auth_token: Option<String>,
 }
 
 impl Default for WorkerConfig {
@@ -69,6 +72,7 @@ impl Default for WorkerConfig {
             connect_attempts: 10,
             connect_backoff_ms: 100,
             progress: true,
+            auth_token: None,
         }
     }
 }
@@ -189,6 +193,7 @@ fn session<T: Send + 'static>(
     try_send!(&Message::Hello {
         worker: config.name.clone(),
         protocol: PROTOCOL_VERSION,
+        token: config.auth_token.clone(),
     });
     let heartbeat_ms = match next(&mut reader) {
         Ok(Message::Welcome {

@@ -71,6 +71,7 @@ fn killer_takes_a_lease(addr: &str) -> String {
         &Message::Hello {
             worker: "killer".into(),
             protocol: PROTOCOL_VERSION,
+            token: None,
         },
     )
     .expect("hello");
@@ -179,6 +180,106 @@ fn distributed_run_with_killed_worker_matches_serial_run() {
         distributed, serial,
         "distributed store must be byte-identical to the serial checkpoint"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Raw handshake against a coordinator; returns the reply message.
+fn handshake(addr: &str, token: Option<&str>) -> Message {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    write_message(
+        &mut writer,
+        &Message::Hello {
+            worker: "auth-probe".into(),
+            protocol: PROTOCOL_VERSION,
+            token: token.map(str::to_string),
+        },
+    )
+    .expect("hello");
+    read_message(&mut reader)
+        .expect("reply")
+        .expect("coordinator replies before closing")
+}
+
+#[test]
+fn auth_token_gates_the_handshake() {
+    let dir = temp_dir("auth");
+    let coordinator = Coordinator::bind(
+        &build_campaign(),
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".into(),
+            store: dir.join("store.jsonl"),
+            wait_backoff_ms: 25,
+            progress: false,
+            auth_token: Some("sesame".into()),
+            ..CoordinatorConfig::default()
+        },
+    )
+    .expect("bind coordinator");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    // No token and a wrong token both get a clean error reply.
+    match handshake(&addr, None) {
+        Message::Error { message } => assert!(
+            message.contains("authentication failed") && message.contains("no"),
+            "unexpected error: {message}"
+        ),
+        other => panic!("expected error, got {other:?}"),
+    }
+    match handshake(&addr, Some("open says me")) {
+        Message::Error { message } => {
+            assert!(
+                message.contains("mismatched"),
+                "unexpected error: {message}"
+            )
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // The right token is welcomed.
+    match handshake(&addr, Some("sesame")) {
+        Message::Welcome { campaign, .. } => assert_eq!(campaign, "loopback"),
+        other => panic!("expected welcome, got {other:?}"),
+    }
+
+    // A full worker with the token drains the campaign; and the rejected
+    // handshakes surface to the worker loop as a fatal error.
+    let rejected = thermorl_dispatch::run_worker(
+        &build_campaign(),
+        &WorkerConfig {
+            coordinator: addr.clone(),
+            workers: 1,
+            name: "intruder".into(),
+            progress: false,
+            connect_attempts: 1,
+            auth_token: Some("wrong".into()),
+            ..WorkerConfig::default()
+        },
+    );
+    match rejected {
+        Err(e) => assert!(
+            e.contains("rejected") && e.contains("authentication failed"),
+            "unexpected worker error: {e}"
+        ),
+        Ok(s) => panic!("intruder must not run jobs, got {s:?}"),
+    }
+    let summary = thermorl_dispatch::run_worker(
+        &build_campaign(),
+        &WorkerConfig {
+            coordinator: addr,
+            workers: 2,
+            name: "trusted".into(),
+            progress: false,
+            auth_token: Some("sesame".into()),
+            ..WorkerConfig::default()
+        },
+    )
+    .expect("authorized worker ok");
+    assert_eq!(summary.completed, JOBS as u64);
+
+    let report = serve.join().expect("serve thread").expect("serve ok");
+    assert_eq!(report.completed, JOBS as u64);
     std::fs::remove_dir_all(&dir).ok();
 }
 

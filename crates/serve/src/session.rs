@@ -1,0 +1,509 @@
+//! One managed die: a Q-learning agent plus its private thermal state.
+//!
+//! A [`Session`] bundles everything the supervisor owns per die: the
+//! DAC'14 controller, an optional RC die model + noisy sensor bank (in
+//! [`SessionMode::Power`] the client streams per-core watts and the
+//! session simulates the die; in [`SessionMode::Temps`] the client
+//! streams temperatures directly), and the per-die observe sequence
+//! high-water mark.
+//!
+//! # Exactly-once effect over an at-least-once stream
+//!
+//! Observes carry a strictly increasing per-die `seq`. A sample at or
+//! below the high-water mark is acknowledged as a duplicate without
+//! being re-applied; a gap is an error; `seq == high + 1` advances the
+//! session. Snapshots capture *all* mutable state bit-exactly (agent
+//! Q-tables and RNG, detector windows, thermal node temperatures, sensor
+//! RNG streams) together with the covered `seq`, so a session restored
+//! from a snapshot and replayed from `acked_seq + 1` emits byte-identical
+//! decisions to one that never went down — the recovery contract the
+//! loopback test enforces.
+
+use thermorl_control::{AgentSnapshot, ControlConfig, DasDac14Controller};
+use thermorl_platform::CounterSnapshot;
+use thermorl_sim::json::Value;
+use thermorl_sim::{Observation, ThermalController};
+use thermorl_thermal::{DieModel, DieParams, Floorplan, SensorBank, SensorParams};
+
+use crate::proto::Decision;
+
+/// The `"status"` tag of a snapshot line in the checkpoint store. Never
+/// `"ok"`, so [`thermorl_dispatch::store::CheckpointStore`] appends every
+/// snapshot without deduplication and loading resolves last-wins per key.
+pub const SNAPSHOT_STATUS: &str = "snapshot";
+
+/// fps reported in every observation (serving has no frame pipeline).
+pub const SERVE_FPS: f64 = 1.0;
+/// Performance constraint `P_c` reported in every observation.
+pub const SERVE_PERF_CONSTRAINT: f64 = 0.8;
+/// Per-core frequency (GHz) reported in every observation.
+pub const SERVE_FREQ_GHZ: f64 = 3.4;
+
+/// What the per-core `values` payload of an observe means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionMode {
+    /// `values` are per-core watts; the session advances its own RC die
+    /// model and reads noisy sensors.
+    Power,
+    /// `values` are per-core °C, used as sensor readings directly.
+    Temps,
+}
+
+impl SessionMode {
+    /// The wire name (`"power"` / `"temps"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SessionMode::Power => "power",
+            SessionMode::Temps => "temps",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Fails on anything but `"power"` or `"temps"`.
+    pub fn parse(s: &str) -> Result<SessionMode, String> {
+        match s {
+            "power" => Ok(SessionMode::Power),
+            "temps" => Ok(SessionMode::Temps),
+            other => Err(format!("unknown session mode {other:?}")),
+        }
+    }
+}
+
+/// The result of applying one observe sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The sample was a retransmit and was not re-applied.
+    pub duplicate: bool,
+    /// Present when the sample closed a decision epoch.
+    pub decision: Option<Decision>,
+}
+
+/// One managed die's live state.
+pub struct Session {
+    die: String,
+    mode: SessionMode,
+    seed: u64,
+    cores: usize,
+    epoch_samples: usize,
+    sampling_interval: f64,
+    agent: DasDac14Controller,
+    model: Option<DieModel>,
+    sensors: Option<SensorBank>,
+    seq: u64,
+}
+
+impl Session {
+    /// Creates a fresh session. `seed` drives the agent's exploration and
+    /// (in power mode) the sensor noise; the same seed always reproduces
+    /// the same decision stream for the same observe stream.
+    pub fn new(
+        die: impl Into<String>,
+        cores: usize,
+        threads: usize,
+        mode: SessionMode,
+        seed: u64,
+        cfg: ControlConfig,
+    ) -> Session {
+        let die = die.into();
+        let epoch_samples = cfg.epoch_samples;
+        let sampling_interval = cfg.sampling_interval;
+        let mut agent = DasDac14Controller::new(cfg, seed).with_name(format!("serve:{die}"));
+        agent.on_start(threads, cores);
+        let (model, sensors) = match mode {
+            SessionMode::Power => (
+                Some(DieModel::new(
+                    Floorplan::grid(cores, 1),
+                    DieParams::default(),
+                )),
+                Some(SensorBank::new(
+                    cores,
+                    SensorParams::default(),
+                    seed.wrapping_add(0x5EED_5EED),
+                )),
+            ),
+            SessionMode::Temps => (None, None),
+        };
+        Session {
+            die,
+            mode,
+            seed,
+            cores,
+            epoch_samples,
+            sampling_interval,
+            agent,
+            model,
+            sensors,
+            seq: 0,
+        }
+    }
+
+    /// The die identifier.
+    pub fn die(&self) -> &str {
+        &self.die
+    }
+
+    /// The observation mode.
+    pub fn mode(&self) -> SessionMode {
+        self.mode
+    }
+
+    /// Highest applied observe sequence number (0 when fresh).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Decision epochs completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.agent.epochs()
+    }
+
+    /// Number of cores the session manages.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Applies one observe sample.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a sequence gap or a payload whose length does not match
+    /// the core count.
+    pub fn step(&mut self, seq: u64, values: &[f64]) -> Result<StepOutcome, String> {
+        if seq <= self.seq {
+            return Ok(StepOutcome {
+                duplicate: true,
+                decision: None,
+            });
+        }
+        if seq != self.seq + 1 {
+            return Err(format!(
+                "sequence gap on die {:?}: got {seq}, expected {}",
+                self.die,
+                self.seq + 1
+            ));
+        }
+        let cores = self.cores;
+        if values.len() != cores {
+            return Err(format!(
+                "payload length {} does not match {cores} cores on die {:?}",
+                values.len(),
+                self.die
+            ));
+        }
+        let temps = match self.mode {
+            SessionMode::Power => {
+                let model = self.model.as_mut().expect("power mode has a model");
+                let sensors = self.sensors.as_mut().expect("power mode has sensors");
+                for (core, watts) in values.iter().enumerate() {
+                    model.set_core_power(core, *watts);
+                }
+                model.advance(self.sampling_interval);
+                sensors.read_all(&model.core_temperatures())
+            }
+            SessionMode::Temps => values.to_vec(),
+        };
+        let freqs = vec![SERVE_FREQ_GHZ; cores];
+        let obs = Observation {
+            time: seq as f64 * self.sampling_interval,
+            sensor_temps: &temps,
+            fps: SERVE_FPS,
+            perf_constraint: SERVE_PERF_CONSTRAINT,
+            app_name: "serve",
+            app_index: 0,
+            app_switched: false,
+            counters: CounterSnapshot::default(),
+            core_freq_ghz: &freqs,
+        };
+        let actuation = self.agent.on_sample(&obs);
+        self.seq = seq;
+        let decision = actuation.map(|act| {
+            let d = self
+                .agent
+                .last_decision()
+                .expect("an actuation implies a recorded epoch decision");
+            Decision {
+                epoch: self.agent.epochs(),
+                action: d.action as u64,
+                assignment: act.assignment.map(|a| a.name).unwrap_or_default(),
+                governor: act.governor.map(|g| g.to_string()).unwrap_or_default(),
+                stress: d.stress,
+                aging: d.aging,
+                reward: d.reward,
+                alpha: d.alpha,
+            }
+        });
+        Ok(StepOutcome {
+            duplicate: false,
+            decision,
+        })
+    }
+
+    /// Whether the last applied sample closed a decision epoch (i.e. the
+    /// session sits on an epoch boundary — the cheapest moment to
+    /// snapshot, since the agent's intra-epoch buffers were just drained).
+    pub fn at_epoch_boundary(&self) -> bool {
+        self.epoch_samples > 0 && self.seq > 0 && self.seq.is_multiple_of(self.epoch_samples as u64)
+    }
+
+    /// Serializes the full mutable state as a JSON object.
+    pub fn snapshot_value(&self) -> Value {
+        let agent = self
+            .agent
+            .snapshot()
+            .expect("sessions always run on_start in new()");
+        let mut v = Value::object();
+        v.set("die", Value::Str(self.die.clone()))
+            .set("mode", Value::Str(self.mode.as_str().into()))
+            .set("seed", Value::UInt(self.seed))
+            .set("seq", Value::UInt(self.seq))
+            .set("epoch_samples", Value::UInt(self.epoch_samples as u64))
+            .set("sampling_interval", Value::num(self.sampling_interval))
+            .set("agent", agent.to_value());
+        if let Some(model) = &self.model {
+            let (temps, powers, ambient) = model.thermal_state();
+            let mut thermal = Value::object();
+            thermal
+                .set(
+                    "temps",
+                    Value::Arr(temps.iter().map(|t| Value::num(*t)).collect()),
+                )
+                .set(
+                    "powers",
+                    Value::Arr(powers.iter().map(|p| Value::num(*p)).collect()),
+                )
+                .set("ambient", Value::num(ambient));
+            v.set("thermal", thermal);
+        }
+        if let Some(sensors) = &self.sensors {
+            v.set(
+                "sensor_rngs",
+                Value::Arr(
+                    sensors
+                        .rng_states()
+                        .iter()
+                        .map(|s| Value::UInt(*s))
+                        .collect(),
+                ),
+            );
+        }
+        v
+    }
+
+    /// The complete checkpoint-store line for this session: keyed by die,
+    /// tagged [`SNAPSHOT_STATUS`] so the store always appends it.
+    pub fn snapshot_line(&self) -> String {
+        let mut line = Value::object();
+        line.set("key", Value::Str(self.die.clone()))
+            .set("status", Value::Str(SNAPSHOT_STATUS.into()))
+            .set("session", self.snapshot_value());
+        line.to_json()
+    }
+
+    /// Rebuilds a session from [`Session::snapshot_value`] output,
+    /// bit-exactly: stepping the restored session produces the same
+    /// outcomes the original would have.
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing or malformed fields.
+    pub fn restore(v: &Value) -> Result<Session, String> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| format!("session snapshot missing {name:?}"))
+        };
+        let die = field("die")?
+            .as_str()
+            .ok_or("session snapshot: \"die\" not a string")?
+            .to_string();
+        let mode = SessionMode::parse(
+            field("mode")?
+                .as_str()
+                .ok_or("session snapshot: \"mode\" not a string")?,
+        )?;
+        let seed = field("seed")?
+            .as_u64()
+            .ok_or("session snapshot: \"seed\" not a u64")?;
+        let seq = field("seq")?
+            .as_u64()
+            .ok_or("session snapshot: \"seq\" not a u64")?;
+        let epoch_samples = field("epoch_samples")?
+            .as_u64()
+            .ok_or("session snapshot: \"epoch_samples\" not a u64")?
+            as usize;
+        let sampling_interval = field("sampling_interval")?
+            .as_f64()
+            .ok_or("session snapshot: \"sampling_interval\" not a number")?;
+        let agent_snap = AgentSnapshot::from_value(field("agent")?)
+            .map_err(|e| format!("session snapshot: {}", e.0))?;
+        let cfg = ControlConfig {
+            epoch_samples,
+            sampling_interval,
+            ..ControlConfig::default()
+        };
+        let agent = DasDac14Controller::restore(cfg, &agent_snap);
+        let cores = agent_snap.num_cores;
+        let (model, sensors) = match mode {
+            SessionMode::Power => {
+                let thermal = field("thermal")?;
+                let temps = f64_list(thermal, "temps")?;
+                let powers = f64_list(thermal, "powers")?;
+                let ambient = thermal
+                    .get("ambient")
+                    .and_then(Value::as_f64)
+                    .ok_or("session snapshot: thermal missing \"ambient\"")?;
+                let mut model = DieModel::new(Floorplan::grid(cores, 1), DieParams::default());
+                let nodes = model.network().temperatures().len();
+                if temps.len() != nodes {
+                    return Err(format!(
+                        "session snapshot: {} thermal nodes, model has {nodes}",
+                        temps.len()
+                    ));
+                }
+                model.restore_thermal_state(&temps, &powers, ambient);
+                let states = field("sensor_rngs")?
+                    .as_array()
+                    .ok_or("session snapshot: \"sensor_rngs\" not an array")?
+                    .iter()
+                    .map(|s| s.as_u64().ok_or("session snapshot: sensor rng not a u64"))
+                    .collect::<Result<Vec<u64>, _>>()?;
+                let mut sensors = SensorBank::new(
+                    cores,
+                    SensorParams::default(),
+                    seed.wrapping_add(0x5EED_5EED),
+                );
+                sensors.restore_rng_states(&states);
+                (Some(model), Some(sensors))
+            }
+            SessionMode::Temps => (None, None),
+        };
+        Ok(Session {
+            die,
+            mode,
+            seed,
+            cores,
+            epoch_samples,
+            sampling_interval,
+            agent,
+            model,
+            sensors,
+            seq,
+        })
+    }
+}
+
+fn f64_list(v: &Value, name: &str) -> Result<Vec<f64>, String> {
+    v.get(name)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("session snapshot missing array {name:?}"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("session snapshot: non-numeric entry in {name:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> ControlConfig {
+        ControlConfig {
+            epoch_samples: 5,
+            sampling_interval: 1.0,
+            ..ControlConfig::default()
+        }
+    }
+
+    fn drive(session: &mut Session, from_seq: u64, n: u64) -> Vec<StepOutcome> {
+        (0..n)
+            .map(|k| {
+                let seq = from_seq + k;
+                // A deterministic wiggly power trace exercising different
+                // states.
+                let w = 6.0 + 4.0 * (((seq * 37) % 11) as f64) / 10.0;
+                let values = vec![w, w * 0.5, w * 0.8, w * 0.25];
+                session.step(seq, &values).expect("step")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequence_semantics_duplicate_and_gap() {
+        let mut s = Session::new("d0", 4, 4, SessionMode::Power, 7, test_cfg());
+        let values = vec![5.0; 4];
+        assert!(!s.step(1, &values).expect("first").duplicate);
+        let dup = s.step(1, &values).expect("retransmit");
+        assert!(dup.duplicate);
+        assert!(dup.decision.is_none());
+        assert_eq!(s.seq(), 1);
+        assert!(s.step(3, &values).is_err(), "gap must be rejected");
+        assert!(s.step(2, &[1.0; 3]).is_err(), "payload length checked");
+    }
+
+    #[test]
+    fn decisions_arrive_on_epoch_boundaries() {
+        let mut s = Session::new("d0", 4, 4, SessionMode::Power, 7, test_cfg());
+        let outcomes = drive(&mut s, 1, 10);
+        for (i, o) in outcomes.iter().enumerate() {
+            let seq = i as u64 + 1;
+            assert_eq!(
+                o.decision.is_some(),
+                seq.is_multiple_of(5),
+                "decision exactly every epoch_samples samples (seq {seq})"
+            );
+        }
+        assert_eq!(s.epochs(), 2);
+        assert!(s.at_epoch_boundary());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let cfg = test_cfg();
+        let mut donor = Session::new("d0", 4, 4, SessionMode::Power, 123, cfg.clone());
+        drive(&mut donor, 1, 20); // 4 full epochs
+
+        // Snapshot through the JSON wire format, as the store would.
+        let line = donor.snapshot_line();
+        let parsed = Value::parse(&line).expect("snapshot line parses");
+        assert_eq!(
+            parsed.get("status").and_then(Value::as_str),
+            Some(SNAPSHOT_STATUS)
+        );
+        let mut twin =
+            Session::restore(parsed.get("session").expect("session field")).expect("restore");
+        assert_eq!(twin.seq(), donor.seq());
+        assert_eq!(twin.epochs(), donor.epochs());
+
+        let donor_out = drive(&mut donor, 21, 30);
+        let twin_out = drive(&mut twin, 21, 30);
+        assert_eq!(
+            donor_out, twin_out,
+            "restored session must replay the identical decision stream"
+        );
+    }
+
+    #[test]
+    fn temps_mode_needs_no_thermal_model() {
+        let cfg = test_cfg();
+        let mut donor = Session::new("t0", 4, 2, SessionMode::Temps, 9, cfg);
+        let outcomes: Vec<StepOutcome> = (1..=10)
+            .map(|seq| {
+                let t = 55.0 + ((seq * 13) % 7) as f64;
+                donor
+                    .step(seq, &[t, t + 2.0, t - 1.0, t + 0.5])
+                    .expect("step")
+            })
+            .collect();
+        assert!(outcomes[4].decision.is_some());
+        let snap = donor.snapshot_value();
+        assert!(snap.get("thermal").is_none());
+        let mut twin = Session::restore(&snap).expect("restore");
+        let a = donor.step(11, &[60.0, 61.0, 59.0, 60.5]).expect("donor");
+        let b = twin.step(11, &[60.0, 61.0, 59.0, 60.5]).expect("twin");
+        assert_eq!(a, b);
+    }
+}

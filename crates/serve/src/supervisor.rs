@@ -1,0 +1,564 @@
+//! The serving supervisor: a TCP front door over sharded session workers.
+//!
+//! One supervisor owns every [`Session`] in the process. Sessions are
+//! sharded across worker threads by die-id hash
+//! ([`thermorl_runner::shard_of`]), so all samples for one die serialize
+//! through one thread (no locks around agent state) while distinct dies
+//! proceed in parallel. Connection threads are thin: they parse one
+//! NDJSON request, route it to the owning shard over a channel, and
+//! write the shard's reply back — so any client can speak for any die,
+//! and several clients can share a die without corrupting its stream.
+//!
+//! # Crash safety
+//!
+//! Shards snapshot a session into the shared [`CheckpointStore`] every
+//! [`ServeConfig::snapshot_every`] decision epochs, on `detach`, and on
+//! orderly shutdown (a `shutdown` with `hard: true` skips the final
+//! pass, simulating a crash). Snapshot lines are tagged
+//! [`SNAPSHOT_STATUS`], which the store treats as non-final — it appends
+//! every one, and on startup the supervisor resolves last-wins per die,
+//! then compacts the store down to one line per die.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter};
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use thermorl_control::ControlConfig;
+use thermorl_dispatch::proto::{read_message, write_message};
+use thermorl_dispatch::CheckpointStore;
+use thermorl_runner::{job_seed, shard_of};
+use thermorl_sim::json::Value;
+use thermorl_telemetry as tel;
+
+use crate::proto::{Message, StatsReport, SERVE_PROTOCOL_VERSION};
+use crate::session::{Session, SessionMode, SNAPSHOT_STATUS};
+
+/// Supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// When set, the bound address is written here (for scripts that
+    /// need the ephemeral port).
+    pub addr_file: Option<PathBuf>,
+    /// Path of the snapshot store (JSONL).
+    pub store: PathBuf,
+    /// Restore sessions from an existing store; `false` starts fresh.
+    pub resume: bool,
+    /// Session worker threads.
+    pub shards: usize,
+    /// Server seed; each die's session seed is `job_seed(seed, die)`.
+    pub seed: u64,
+    /// Snapshot a session every this many decision epochs (0 disables
+    /// periodic snapshots; detach/shutdown snapshots still happen).
+    pub snapshot_every: u64,
+    /// Decision epoch length (sensor samples per epoch) for new sessions.
+    pub epoch_samples: usize,
+    /// Suppress progress output.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            addr_file: None,
+            store: PathBuf::from("serve-snapshots.jsonl"),
+            resume: true,
+            shards: 2,
+            seed: 0xDAC14,
+            snapshot_every: 2,
+            epoch_samples: ControlConfig::default().epoch_samples,
+            quiet: false,
+        }
+    }
+}
+
+/// What the supervisor reports after it stops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// The address the supervisor was bound to.
+    pub addr: SocketAddr,
+    /// Final counters.
+    pub stats: StatsReport,
+}
+
+#[derive(Default)]
+struct Stats {
+    sessions_active: AtomicU64,
+    sessions_total: AtomicU64,
+    observes_total: AtomicU64,
+    decisions_total: AtomicU64,
+    snapshot_writes: AtomicU64,
+}
+
+impl Stats {
+    fn report(&self) -> StatsReport {
+        StatsReport {
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            sessions_total: self.sessions_total.load(Ordering::Relaxed),
+            observes_total: self.observes_total.load(Ordering::Relaxed),
+            decisions_total: self.decisions_total.load(Ordering::Relaxed),
+            snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct ShardRequest {
+    msg: Message,
+    reply: Sender<Message>,
+}
+
+/// Everything a connection thread needs.
+struct Shared {
+    shards: Vec<Sender<ShardRequest>>,
+    stats: Arc<Stats>,
+    stop: Arc<AtomicBool>,
+    hard: Arc<AtomicBool>,
+}
+
+/// A running supervisor: inspect the bound address, stop it, join it.
+pub struct SupervisorHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    hard: Arc<AtomicBool>,
+    thread: JoinHandle<io::Result<ServeReport>>,
+}
+
+impl SupervisorHandle {
+    /// The address the supervisor listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a stop. `hard` skips the final snapshot pass — every
+    /// session state not already snapshotted is lost, as in a crash.
+    pub fn shutdown(&self, hard: bool) {
+        if hard {
+            self.hard.store(true, Ordering::SeqCst);
+        }
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the supervisor to stop and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener I/O failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor thread itself panicked.
+    pub fn join(self) -> io::Result<ServeReport> {
+        self.thread.join().expect("supervisor thread panicked")
+    }
+}
+
+/// The serving supervisor entry points.
+pub struct Supervisor;
+
+impl Supervisor {
+    /// Binds, restores snapshots, and starts serving in the background.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound or the store cannot be
+    /// opened.
+    pub fn spawn(config: ServeConfig) -> io::Result<SupervisorHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        if let Some(path) = &config.addr_file {
+            std::fs::write(path, format!("{addr}\n"))?;
+        }
+
+        // Restore-and-compact: collect the newest snapshot per die from
+        // the previous run, then rewrite the store with exactly those
+        // lines so it never grows across restarts.
+        let restored = if config.resume {
+            load_snapshots(&config.store)?
+        } else {
+            HashMap::new()
+        };
+        let mut store = CheckpointStore::open(&config.store, false)?;
+        for line in restored.values() {
+            store.ingest(&line.to_json())?;
+        }
+        if !config.quiet {
+            eprintln!(
+                "[serve] listening on {addr}, {} session(s) restorable from {}",
+                restored.len(),
+                config.store.display()
+            );
+        }
+        let store = Arc::new(Mutex::new(store));
+
+        let stats = Arc::new(Stats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let hard = Arc::new(AtomicBool::new(false));
+
+        // Partition restored snapshots by shard and launch the workers.
+        let shards = config.shards.max(1);
+        let mut per_shard: Vec<HashMap<String, Value>> =
+            (0..shards).map(|_| HashMap::new()).collect();
+        for (die, snap) in restored {
+            per_shard[shard_of(&die, shards)].insert(die, snap);
+        }
+        let mut senders = Vec::with_capacity(shards);
+        let mut shard_handles = Vec::with_capacity(shards);
+        for pending in per_shard {
+            let (tx, rx) = mpsc::channel::<ShardRequest>();
+            senders.push(tx);
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let hard = Arc::clone(&hard);
+            let cfg = config.clone();
+            shard_handles.push(thread::spawn(move || {
+                run_shard(rx, pending, store, stats, hard, cfg)
+            }));
+        }
+
+        let shared = Arc::new(Shared {
+            shards: senders,
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            hard: Arc::clone(&hard),
+        });
+        let accept_stop = Arc::clone(&stop);
+        let quiet = config.quiet;
+        let thread = thread::spawn(move || {
+            accept_loop(listener, addr, shared, shard_handles, accept_stop, quiet)
+        });
+        Ok(SupervisorHandle {
+            addr,
+            stop,
+            hard,
+            thread,
+        })
+    }
+
+    /// Runs a supervisor to completion (blocks until a client sends
+    /// `shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Supervisor::spawn`].
+    pub fn run(config: ServeConfig) -> io::Result<ServeReport> {
+        Supervisor::spawn(config)?.join()
+    }
+}
+
+/// Scans the store for [`SNAPSHOT_STATUS`] lines, newest per die wins.
+fn load_snapshots(path: &std::path::Path) -> io::Result<HashMap<String, Value>> {
+    let mut latest = HashMap::new();
+    if !path.exists() {
+        return Ok(latest);
+    }
+    let reader = BufReader::new(File::open(path)?);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = Value::parse(&line) else {
+            continue; // torn tail of a crashed run
+        };
+        let (Some(key), Some(status)) = (
+            v.get("key").and_then(Value::as_str),
+            v.get("status").and_then(Value::as_str),
+        ) else {
+            continue;
+        };
+        if status == SNAPSHOT_STATUS {
+            latest.insert(key.to_string(), v);
+        }
+    }
+    Ok(latest)
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shard_handles: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    quiet: bool,
+) -> io::Result<ServeReport> {
+    let mut conn_handles = Vec::new();
+    let mut open_streams: Vec<TcpStream> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                open_streams.push(stream.try_clone()?);
+                let shared = Arc::clone(&shared);
+                conn_handles.push(thread::spawn(move || {
+                    let _ = handle_connection(stream, &shared);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // Unblock connection threads stuck in a read, then wait for them.
+    for stream in &open_streams {
+        let _ = stream.shutdown(SocketShutdown::Both);
+    }
+    for handle in conn_handles {
+        let _ = handle.join();
+    }
+    let stats = Arc::clone(&shared.stats);
+    // Dropping the last shard senders disconnects the channels; shards
+    // run their final snapshot pass (unless `hard`) and exit.
+    drop(shared);
+    for handle in shard_handles {
+        let _ = handle.join();
+    }
+    let report = ServeReport {
+        addr,
+        stats: stats.report(),
+    };
+    if !quiet {
+        eprintln!(
+            "[serve] stopped: {} session(s), {} decision(s), {} snapshot write(s)",
+            report.stats.sessions_total, report.stats.decisions_total, report.stats.snapshot_writes
+        );
+    }
+    Ok(report)
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(msg) = read_message::<_, Message>(&mut reader)? {
+        let _span = tel::span!("serve.request");
+        let reply = match msg {
+            Message::Stats => Message::Report(shared.stats.report()),
+            Message::Shutdown { hard } => {
+                if hard {
+                    shared.hard.store(true, Ordering::SeqCst);
+                }
+                shared.stop.store(true, Ordering::SeqCst);
+                Message::ShuttingDown
+            }
+            Message::Attach { ref die, .. }
+            | Message::Observe { ref die, .. }
+            | Message::Detach { ref die } => {
+                let shard = shard_of(die, shared.shards.len());
+                let (tx, rx) = mpsc::channel();
+                let routed = shared.shards[shard]
+                    .send(ShardRequest {
+                        msg: msg.clone(),
+                        reply: tx,
+                    })
+                    .is_ok();
+                if routed {
+                    rx.recv().unwrap_or(Message::Error {
+                        message: "supervisor is shutting down".into(),
+                    })
+                } else {
+                    Message::Error {
+                        message: "supervisor is shutting down".into(),
+                    }
+                }
+            }
+            other => Message::Error {
+                message: format!("unexpected client message: {other:?}"),
+            },
+        };
+        let done = matches!(reply, Message::ShuttingDown);
+        write_message(&mut writer, &reply)?;
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// One session worker: owns every session whose die hashes to it.
+fn run_shard(
+    rx: Receiver<ShardRequest>,
+    mut pending: HashMap<String, Value>,
+    store: Arc<Mutex<CheckpointStore>>,
+    stats: Arc<Stats>,
+    hard: Arc<AtomicBool>,
+    cfg: ServeConfig,
+) {
+    let mut sessions: HashMap<String, Session> = HashMap::new();
+    while let Ok(req) = rx.recv() {
+        let reply =
+            handle_shard_message(req.msg, &mut sessions, &mut pending, &store, &stats, &cfg);
+        // The client may have hung up; a dead reply channel is fine.
+        let _ = req.reply.send(reply);
+    }
+    if !hard.load(Ordering::SeqCst) {
+        for session in sessions.values() {
+            write_snapshot(session, &store, &stats);
+        }
+    }
+}
+
+fn handle_shard_message(
+    msg: Message,
+    sessions: &mut HashMap<String, Session>,
+    pending: &mut HashMap<String, Value>,
+    store: &Arc<Mutex<CheckpointStore>>,
+    stats: &Arc<Stats>,
+    cfg: &ServeConfig,
+) -> Message {
+    match msg {
+        Message::Attach {
+            protocol,
+            die,
+            cores,
+            threads,
+            mode,
+        } => {
+            if protocol != SERVE_PROTOCOL_VERSION {
+                return Message::Error {
+                    message: format!(
+                        "protocol mismatch: client speaks v{protocol}, server v{SERVE_PROTOCOL_VERSION}"
+                    ),
+                };
+            }
+            let mode = match SessionMode::parse(&mode) {
+                Ok(m) => m,
+                Err(e) => return Message::Error { message: e },
+            };
+            // Re-attach to a live session is idempotent (a reconnecting
+            // client learns how far it had got).
+            if let Some(session) = sessions.get(&die) {
+                if session.cores() != cores || session.mode() != mode {
+                    return Message::Error {
+                        message: format!("die {die:?} is attached with a different shape"),
+                    };
+                }
+                return Message::Attached {
+                    die,
+                    resumed: true,
+                    acked_seq: session.seq(),
+                    epochs: session.epochs(),
+                };
+            }
+            let (session, resumed) = if let Some(snap) = pending.remove(&die) {
+                let restored = snap
+                    .get("session")
+                    .ok_or_else(|| format!("snapshot for die {die:?} missing session"))
+                    .and_then(Session::restore);
+                match restored {
+                    Ok(s) => {
+                        if s.cores() != cores || s.mode() != mode {
+                            return Message::Error {
+                                message: format!(
+                                    "die {die:?} snapshot has a different shape; \
+                                     attach with the original cores/mode or start a fresh store"
+                                ),
+                            };
+                        }
+                        (s, true)
+                    }
+                    Err(e) => return Message::Error { message: e },
+                }
+            } else {
+                let session_cfg = ControlConfig {
+                    epoch_samples: cfg.epoch_samples,
+                    ..ControlConfig::default()
+                };
+                (
+                    Session::new(
+                        die.clone(),
+                        cores,
+                        threads,
+                        mode,
+                        job_seed(cfg.seed, &die),
+                        session_cfg,
+                    ),
+                    false,
+                )
+            };
+            stats.sessions_total.fetch_add(1, Ordering::Relaxed);
+            let active = stats.sessions_active.fetch_add(1, Ordering::Relaxed) + 1;
+            tel::gauge!("serve.sessions_active", active as f64);
+            tel::event!("serve.attach", "{die} resumed={resumed}");
+            let reply = Message::Attached {
+                die: die.clone(),
+                resumed,
+                acked_seq: session.seq(),
+                epochs: session.epochs(),
+            };
+            sessions.insert(die, session);
+            reply
+        }
+        Message::Observe { die, seq, values } => {
+            let Some(session) = sessions.get_mut(&die) else {
+                return Message::Error {
+                    message: format!("die {die:?} is not attached"),
+                };
+            };
+            match session.step(seq, &values) {
+                Ok(outcome) => {
+                    if !outcome.duplicate {
+                        stats.observes_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if outcome.decision.is_some() {
+                        stats.decisions_total.fetch_add(1, Ordering::Relaxed);
+                        tel::counter!("serve.decisions_total");
+                        if cfg.snapshot_every > 0 && session.epochs() % cfg.snapshot_every == 0 {
+                            write_snapshot(session, store, stats);
+                        }
+                    }
+                    Message::Ack {
+                        die,
+                        seq,
+                        duplicate: outcome.duplicate,
+                        decision: outcome.decision,
+                    }
+                }
+                Err(message) => Message::Error { message },
+            }
+        }
+        Message::Detach { die } => {
+            let Some(session) = sessions.remove(&die) else {
+                return Message::Error {
+                    message: format!("die {die:?} is not attached"),
+                };
+            };
+            write_snapshot(&session, store, stats);
+            let active = stats
+                .sessions_active
+                .fetch_sub(1, Ordering::Relaxed)
+                .saturating_sub(1);
+            tel::gauge!("serve.sessions_active", active as f64);
+            tel::event!("serve.detach", "{die}");
+            Message::Detached {
+                die,
+                epochs: session.epochs(),
+            }
+        }
+        other => Message::Error {
+            message: format!("shard cannot handle message: {other:?}"),
+        },
+    }
+}
+
+fn write_snapshot(session: &Session, store: &Arc<Mutex<CheckpointStore>>, stats: &Arc<Stats>) {
+    let line = session.snapshot_line();
+    let mut store = store.lock().expect("store lock poisoned");
+    if let Err(e) = store.ingest(&line) {
+        eprintln!(
+            "[serve] warning: snapshot of {:?} failed: {e}",
+            session.die()
+        );
+        return;
+    }
+    stats.snapshot_writes.fetch_add(1, Ordering::Relaxed);
+    tel::counter!("serve.snapshot_writes");
+}

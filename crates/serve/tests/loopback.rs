@@ -1,0 +1,387 @@
+//! Loopback tests of the serving supervisor: full TCP round trips, the
+//! kill-and-restart recovery contract, stats, telemetry, and the wire
+//! error paths.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+use thermorl_dispatch::proto::{read_message, write_message};
+use thermorl_serve::bench::power_values;
+use thermorl_serve::{
+    Decision, Message, ServeConfig, Supervisor, SupervisorHandle, SERVE_PROTOCOL_VERSION,
+};
+use thermorl_telemetry as tel;
+
+const CORES: usize = 4;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "thermorl-serve-loopback-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn config(store: &Path) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        addr_file: None,
+        store: store.to_path_buf(),
+        resume: true,
+        shards: 2,
+        seed: 99,
+        snapshot_every: 1,
+        epoch_samples: 3,
+        quiet: true,
+    }
+}
+
+fn die_name(i: usize) -> String {
+    format!("die-{i}")
+}
+
+/// A synchronous request/reply client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &SupervisorHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, msg: &Message) -> Message {
+        write_message(&mut self.writer, msg).expect("write");
+        read_message::<_, Message>(&mut self.reader)
+            .expect("read")
+            .expect("reply")
+    }
+
+    /// Attaches `die` in power mode; returns `(resumed, acked_seq)`.
+    fn attach(&mut self, die: &str) -> (bool, u64) {
+        match self.roundtrip(&Message::Attach {
+            protocol: SERVE_PROTOCOL_VERSION,
+            die: die.into(),
+            cores: CORES,
+            threads: CORES,
+            mode: "power".into(),
+        }) {
+            Message::Attached {
+                resumed, acked_seq, ..
+            } => (resumed, acked_seq),
+            other => panic!("attach got {other:?}"),
+        }
+    }
+
+    /// Sends one observe; returns the epoch decision if one closed.
+    fn observe(&mut self, die_idx: usize, seq: u64) -> Option<Decision> {
+        let die = die_name(die_idx);
+        match self.roundtrip(&Message::Observe {
+            die: die.clone(),
+            seq,
+            values: power_values(die_idx, seq, CORES),
+        }) {
+            Message::Ack {
+                seq: got,
+                duplicate,
+                decision,
+                ..
+            } => {
+                assert_eq!(got, seq);
+                assert!(!duplicate, "seq {seq} of {die} unexpectedly duplicate");
+                decision
+            }
+            other => panic!("observe got {other:?}"),
+        }
+    }
+}
+
+/// Drives `seqs` for every die in lockstep, collecting each die's
+/// decision stream as `(seq, decision)` pairs.
+fn drive(
+    client: &mut Client,
+    dies: usize,
+    seqs: std::ops::RangeInclusive<u64>,
+) -> HashMap<usize, Vec<(u64, Decision)>> {
+    let mut streams: HashMap<usize, Vec<(u64, Decision)>> = HashMap::new();
+    for seq in seqs {
+        for d in 0..dies {
+            if let Some(decision) = client.observe(d, seq) {
+                streams.entry(d).or_default().push((seq, decision));
+            }
+        }
+    }
+    streams
+}
+
+/// The tentpole contract: a supervisor that is hard-killed mid-run and
+/// restarted from its snapshot store produces — after the client replays
+/// from `acked_seq + 1` — decision streams identical to a supervisor
+/// that never went down.
+#[test]
+fn kill_and_restart_reproduces_the_decision_stream() {
+    const DIES: usize = 3;
+    const TOTAL: u64 = 30;
+    const CUT: u64 = 17;
+    let dir = temp_dir("kill-restart");
+
+    // Reference: one uninterrupted run over the full observe stream.
+    let reference = {
+        let handle = Supervisor::spawn(config(&dir.join("ref.jsonl"))).expect("spawn");
+        let mut client = Client::connect(&handle);
+        for d in 0..DIES {
+            assert_eq!(client.attach(&die_name(d)), (false, 0));
+        }
+        let streams = drive(&mut client, DIES, 1..=TOTAL);
+        assert_eq!(
+            client.roundtrip(&Message::Shutdown { hard: false }),
+            Message::ShuttingDown
+        );
+        handle.join().expect("join");
+        streams
+    };
+    assert!(
+        reference.values().all(|s| s.len() as u64 == TOTAL / 3),
+        "every die decides once per epoch_samples"
+    );
+
+    // Interrupted: same seed, same store dir, killed hard at CUT.
+    let store = dir.join("victim.jsonl");
+    let before_kill = {
+        let handle = Supervisor::spawn(config(&store)).expect("spawn");
+        let mut client = Client::connect(&handle);
+        for d in 0..DIES {
+            assert_eq!(client.attach(&die_name(d)), (false, 0));
+        }
+        let streams = drive(&mut client, DIES, 1..=CUT);
+        // Hard shutdown: no final snapshot pass — states newer than the
+        // last periodic snapshot are lost, exactly as in a crash.
+        handle.shutdown(true);
+        handle.join().expect("join");
+        streams
+    };
+
+    // Restart from the store, replay from acked_seq + 1, run to TOTAL.
+    let handle = Supervisor::spawn(config(&store)).expect("respawn");
+    let mut client = Client::connect(&handle);
+    let mut acked = None;
+    for d in 0..DIES {
+        let (resumed, acked_seq) = client.attach(&die_name(d));
+        assert!(resumed, "die {d} must resume from its snapshot");
+        assert!(
+            acked_seq > 0 && acked_seq < CUT,
+            "snapshot covers part of the interrupted run (got {acked_seq})"
+        );
+        // Lockstep drive + per-epoch snapshots put every die at the same
+        // boundary.
+        assert_eq!(*acked.get_or_insert(acked_seq), acked_seq);
+    }
+    let acked = acked.expect("at least one die");
+    let after_restart = drive(&mut client, DIES, acked + 1..=TOTAL);
+    assert_eq!(
+        client.roundtrip(&Message::Shutdown { hard: false }),
+        Message::ShuttingDown
+    );
+    handle.join().expect("join");
+
+    for d in 0..DIES {
+        let reference = &reference[&d];
+        let replayed = after_restart.get(&d).map(Vec::as_slice).unwrap_or(&[]);
+        // The stitched stream: decisions the victim produced up to the
+        // snapshot, then everything the restarted supervisor produced.
+        let mut stitched: Vec<(u64, Decision)> = before_kill
+            .get(&d)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|(seq, _)| *seq <= acked)
+            .cloned()
+            .collect();
+        stitched.extend(replayed.iter().cloned());
+        assert_eq!(
+            &stitched, reference,
+            "die {d}: stitched decision stream must equal the uninterrupted one"
+        );
+        // And the replayed overlap (acked+1 ..= CUT) reproduces what the
+        // victim had already decided, bit for bit.
+        let victim_tail: Vec<(u64, Decision)> = before_kill[&d]
+            .iter()
+            .filter(|(seq, _)| *seq > acked)
+            .cloned()
+            .collect();
+        let replay_overlap: Vec<(u64, Decision)> = replayed
+            .iter()
+            .filter(|(seq, _)| *seq <= CUT)
+            .cloned()
+            .collect();
+        assert_eq!(replay_overlap, victim_tail, "die {d}: replay overlap");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Serve metrics reach both telemetry export formats (JSON keeps dotted
+/// names, Prometheus sanitizes them), and the stats message agrees.
+#[test]
+fn metrics_flow_to_stats_json_and_prometheus() {
+    let dir = temp_dir("metrics");
+    tel::set_enabled(true);
+    let baseline = tel::snapshot();
+
+    let handle = Supervisor::spawn(config(&dir.join("store.jsonl"))).expect("spawn");
+    let mut client = Client::connect(&handle);
+    assert_eq!(client.attach("m-die"), (false, 0));
+    let mut decisions = 0;
+    for seq in 1..=6u64 {
+        match client.roundtrip(&Message::Observe {
+            die: "m-die".into(),
+            seq,
+            values: power_values(0, seq, CORES),
+        }) {
+            Message::Ack { decision, .. } => decisions += u64::from(decision.is_some()),
+            other => panic!("observe got {other:?}"),
+        }
+    }
+    assert_eq!(decisions, 2, "6 samples at epoch_samples=3");
+
+    // Counters via the stats message...
+    match client.roundtrip(&Message::Stats) {
+        Message::Report(report) => {
+            assert_eq!(report.sessions_active, 1);
+            assert!(report.observes_total >= 6);
+            assert!(report.decisions_total >= 2);
+            assert!(report.snapshot_writes >= 2, "snapshot_every=1 epoch");
+        }
+        other => panic!("stats got {other:?}"),
+    }
+
+    // ...and via the telemetry registry, in both export formats.
+    let delta = tel::snapshot().since(&baseline);
+    let json = delta.to_json();
+    assert!(json.contains("\"serve.decisions_total\""), "json: {json}");
+    assert!(json.contains("\"serve.snapshot_writes\""), "json: {json}");
+    assert!(json.contains("serve.request"), "request span in {json}");
+    let full = tel::snapshot();
+    assert!(full.to_json().contains("\"serve.sessions_active\""));
+    let prom = full.to_prometheus();
+    assert!(prom.contains("serve_decisions_total"), "prom: {prom}");
+    assert!(prom.contains("serve_sessions_active"), "prom: {prom}");
+    assert!(prom.contains("serve_snapshot_writes"), "prom: {prom}");
+
+    match client.roundtrip(&Message::Detach {
+        die: "m-die".into(),
+    }) {
+        Message::Detached { epochs, .. } => assert_eq!(epochs, 2),
+        other => panic!("detach got {other:?}"),
+    }
+    assert_eq!(
+        client.roundtrip(&Message::Shutdown { hard: false }),
+        Message::ShuttingDown
+    );
+    handle.join().expect("join");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The wire error paths: bad protocol, unattached dies, sequence gaps,
+/// retransmits, and shape mismatches all answer cleanly.
+#[test]
+fn protocol_errors_answer_cleanly() {
+    let dir = temp_dir("errors");
+    let handle = Supervisor::spawn(config(&dir.join("store.jsonl"))).expect("spawn");
+    let mut client = Client::connect(&handle);
+
+    let err = |m: Message| match m {
+        Message::Error { message } => message,
+        other => panic!("expected error, got {other:?}"),
+    };
+
+    let msg = err(client.roundtrip(&Message::Attach {
+        protocol: SERVE_PROTOCOL_VERSION + 1,
+        die: "e".into(),
+        cores: CORES,
+        threads: CORES,
+        mode: "power".into(),
+    }));
+    assert!(msg.contains("protocol mismatch"), "{msg}");
+
+    let msg = err(client.roundtrip(&Message::Attach {
+        protocol: SERVE_PROTOCOL_VERSION,
+        die: "e".into(),
+        cores: CORES,
+        threads: CORES,
+        mode: "psychic".into(),
+    }));
+    assert!(msg.contains("unknown session mode"), "{msg}");
+
+    let msg = err(client.roundtrip(&Message::Observe {
+        die: "ghost".into(),
+        seq: 1,
+        values: vec![1.0; CORES],
+    }));
+    assert!(msg.contains("not attached"), "{msg}");
+
+    assert_eq!(client.attach("e"), (false, 0));
+    // Re-attach with a different shape is rejected; same shape is
+    // idempotent.
+    let msg = err(client.roundtrip(&Message::Attach {
+        protocol: SERVE_PROTOCOL_VERSION,
+        die: "e".into(),
+        cores: CORES + 1,
+        threads: CORES,
+        mode: "power".into(),
+    }));
+    assert!(msg.contains("different shape"), "{msg}");
+    assert_eq!(client.attach("e"), (true, 0));
+
+    let msg = err(client.roundtrip(&Message::Observe {
+        die: "e".into(),
+        seq: 5,
+        values: vec![1.0; CORES],
+    }));
+    assert!(msg.contains("sequence gap"), "{msg}");
+
+    let first = client.roundtrip(&Message::Observe {
+        die: "e".into(),
+        seq: 1,
+        values: vec![1.0; CORES],
+    });
+    assert!(matches!(
+        first,
+        Message::Ack {
+            duplicate: false,
+            ..
+        }
+    ));
+    let retransmit = client.roundtrip(&Message::Observe {
+        die: "e".into(),
+        seq: 1,
+        values: vec![1.0; CORES],
+    });
+    assert!(matches!(
+        retransmit,
+        Message::Ack {
+            duplicate: true,
+            ..
+        }
+    ));
+
+    let msg = err(client.roundtrip(&Message::Detach {
+        die: "ghost".into(),
+    }));
+    assert!(msg.contains("not attached"), "{msg}");
+
+    assert_eq!(
+        client.roundtrip(&Message::Shutdown { hard: true }),
+        Message::ShuttingDown
+    );
+    handle.join().expect("join");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -348,6 +348,38 @@ impl DieModel {
     pub fn network(&self) -> &RcNetwork {
         &self.network
     }
+
+    /// The die's full mutable thermal state — `(node temperatures,
+    /// per-core powers, ambient)` — everything a checkpoint needs; the
+    /// structure (floorplan, parameters) is configuration and stays out.
+    /// Temperatures cover *all* nodes (cores, caches, spreader, sink) in
+    /// network order.
+    pub fn thermal_state(&self) -> (Vec<f64>, Vec<f64>, f64) {
+        (
+            self.network.temperatures().to_vec(),
+            (0..self.core_nodes.len())
+                .map(|c| self.core_power(c))
+                .collect(),
+            self.ambient(),
+        )
+    }
+
+    /// Restores state captured by [`DieModel::thermal_state`] onto a die
+    /// built from the same floorplan and parameters; subsequent
+    /// [`DieModel::advance`] calls continue bit-identically to the
+    /// checkpointed die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not cover every network node.
+    pub fn restore_thermal_state(&mut self, temps: &[f64], core_powers: &[f64], ambient: f64) {
+        self.network.set_ambient(ambient);
+        let cores = self.core_nodes.len().min(core_powers.len());
+        for (core, &power) in core_powers.iter().enumerate().take(cores) {
+            self.set_core_power(core, power);
+        }
+        self.network.set_temperatures(temps);
+    }
 }
 
 #[cfg(test)]
@@ -561,6 +593,37 @@ mod tests {
         die.settle();
         let after = die.core_temperature(0);
         assert!((after - before - 10.0).abs() < 1e-6, "{before} -> {after}");
+    }
+
+    #[test]
+    fn thermal_state_round_trip_is_bit_exact() {
+        let mut donor = DieModel::quad_core();
+        for c in 0..4 {
+            donor.set_core_power(c, 8.0 + c as f64 * 2.5);
+        }
+        donor.advance(7.3);
+        let (temps, powers, ambient) = donor.thermal_state();
+
+        let mut twin = DieModel::quad_core();
+        twin.restore_thermal_state(&temps, &powers, ambient);
+        for (a, b) in twin
+            .core_temperatures()
+            .iter()
+            .zip(donor.core_temperatures())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the restored die advances bit-identically.
+        donor.advance(11.0);
+        twin.advance(11.0);
+        for (a, b) in twin
+            .network()
+            .temperatures()
+            .iter()
+            .zip(donor.network().temperatures())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "advance diverged after restore");
+        }
     }
 
     #[test]

@@ -83,6 +83,17 @@ impl ThermalSensor {
         &self.params
     }
 
+    /// Raw state of the noise RNG, for checkpointing a live sensor.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Resumes the noise stream from a [`ThermalSensor::rng_state`]
+    /// value, so subsequent readings match the checkpointed sensor's.
+    pub fn restore_rng_state(&mut self, state: u64) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Produces a reading for true temperature `actual_c` (°C).
     pub fn read(&mut self, actual_c: f64) -> f64 {
         let noise = if self.params.noise_amplitude > 0.0 {
@@ -125,6 +136,20 @@ impl SensorBank {
     /// Whether the bank is empty.
     pub fn is_empty(&self) -> bool {
         self.sensors.is_empty()
+    }
+
+    /// Raw noise-RNG states of every sensor, for checkpointing.
+    pub fn rng_states(&self) -> Vec<u64> {
+        self.sensors.iter().map(ThermalSensor::rng_state).collect()
+    }
+
+    /// Resumes every sensor's noise stream from
+    /// [`SensorBank::rng_states`] output. States beyond the bank's size
+    /// are ignored; missing states leave those sensors untouched.
+    pub fn restore_rng_states(&mut self, states: &[u64]) {
+        for (sensor, &state) in self.sensors.iter_mut().zip(states) {
+            sensor.restore_rng_state(state);
+        }
     }
 
     /// Reads all sensors against the provided true temperatures.
@@ -214,6 +239,22 @@ mod tests {
             }
         }
         assert!(!all_identical, "sensor noise streams are correlated");
+    }
+
+    #[test]
+    fn rng_state_round_trip_resumes_noise_stream() {
+        let mut donor = SensorBank::new(4, SensorParams::default(), 77);
+        let _ = donor.read_all(&[45.0; 4]);
+        let _ = donor.read_all(&[46.0; 4]);
+        let states = donor.rng_states();
+
+        // A bank built from a different seed, restored mid-stream.
+        let mut twin = SensorBank::new(4, SensorParams::default(), 0);
+        twin.restore_rng_states(&states);
+        for i in 0..50 {
+            let t = 44.0 + i as f64 * 0.2;
+            assert_eq!(donor.read_all(&[t; 4]), twin.read_all(&[t; 4]));
+        }
     }
 
     #[test]

@@ -203,6 +203,21 @@ pub mod rngs {
             splitmix64(&mut self.state)
         }
     }
+
+    impl StdRng {
+        /// The raw generator state, for checkpointing a live stream.
+        #[inline]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator mid-stream from a [`StdRng::state`] value
+        /// (no warm-up: the state is resumed exactly where it was).
+        #[inline]
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
 }
 
 #[cfg(test)]
