@@ -24,8 +24,10 @@ cargo test -q -p thermorl-bench --test telemetry_smoke
 echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --workspace --no-run
 
-echo "== bench_thermal --quick (regenerate perf snapshot) =="
-cargo run --release -q -p thermorl-bench --bin bench_thermal -- --quick
+echo "== bench_thermal --quick --gate (regenerate perf snapshot, 3x regression gate) =="
+cargo run --release -q -p thermorl-bench --bin bench_thermal -- --quick --gate
+grep -q '"batch"' BENCH_thermal.json \
+    || { echo "BENCH_thermal.json missing the batch section"; exit 1; }
 
 echo "== dispatch loopback smoke (serve + status + work) =="
 # A real coordinator/worker round trip over 127.0.0.1 on an ephemeral

@@ -5,6 +5,10 @@
 //! Flags:
 //! * `--quick` — fewer iterations (CI mode; same JSON shape).
 //! * `--out PATH` — output path (default `BENCH_thermal.json`).
+//! * `--gate` — regression gate: before overwriting the output file,
+//!   parse its committed `die_advance_1s_ns` and exit non-zero if the
+//!   freshly measured number is more than 3x slower. A missing or
+//!   unparsable committed file is a warning, not a failure (first run).
 //! * `--telemetry [PATH]` — record registry metrics during the scenario
 //!   measurement and write the snapshot to PATH (default
 //!   `telemetry.json`). Stepper timings and the disabled-overhead
@@ -24,10 +28,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use thermorl_runner::{default_workers, par_for_each_mut};
 use thermorl_sim::json::Value;
 use thermorl_sim::{run_scenario, NullController, SimConfig};
 use thermorl_telemetry as tel;
-use thermorl_thermal::{DieModel, DieParams, Floorplan, Stepper};
+use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan, Stepper};
 use thermorl_workload::{alpbench, DataSet, Scenario};
 
 /// `thermal/die_advance_1s` on the growth seed's dense forward-Euler
@@ -112,6 +117,69 @@ fn measure_stepper(stepper: Stepper, iters: u32, reps: u32) -> (f64, u64) {
     (ns, allocs / 100)
 }
 
+/// A warmed-up [`DieBatch`] of `width` quad-core dies with per-die power
+/// profiles, ready for steady-state advance timing.
+fn quad_fleet(width: usize) -> DieBatch {
+    let proto = quad_die(Stepper::default());
+    let mut batch = DieBatch::new(&proto, width);
+    for die in 0..width {
+        for core in 0..4 {
+            batch.set_core_power(die, core, 8.0 + ((die * 4 + core) % 9) as f64);
+        }
+    }
+    batch.advance(1.0); // builds the propagator, refreshes every t_ss column
+    batch
+}
+
+/// Measures one fleet-wide `advance(1.0)` for a batch of `width` dies and
+/// its per-advance heap allocation count in steady state. Returns
+/// (ns per fleet advance, allocs per fleet advance).
+fn measure_batch(width: usize, iters: u32, reps: u32) -> (f64, u64) {
+    let mut batch = quad_fleet(width);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..100 {
+        batch.advance(1.0);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    // Larger fleets do proportionally more work per advance; shrink the
+    // inner loop to keep each measurement's wall time roughly constant.
+    let iters = (iters / width as u32).max(200);
+    let ns = median_ns_per_iter(
+        || {
+            batch.advance(1.0);
+            std::hint::black_box(batch.core_temperature(0, 0));
+        },
+        iters,
+        reps,
+    );
+    (ns, allocs / 100)
+}
+
+/// Aggregate die-advances/sec across `batches` independent [`DieBatch`]es
+/// of `width` dies advanced concurrently via the runner pool's
+/// `par_for_each_mut` (one chunk of batches per worker thread).
+fn measure_parallel_fleet(batches: usize, width: usize, iters: u32, reps: u32) -> f64 {
+    // Each parallel call spawns a scoped thread per worker; stack several
+    // fleet advances inside one call so the spawn cost is amortized the
+    // way a real campaign (many epochs per dispatch) amortizes it.
+    const ADVANCES_PER_CALL: u32 = 32;
+    let mut fleet: Vec<DieBatch> = (0..batches).map(|_| quad_fleet(width)).collect();
+    let ns = median_ns_per_iter(
+        || {
+            par_for_each_mut(&mut fleet, |batch| {
+                for _ in 0..ADVANCES_PER_CALL {
+                    batch.advance(1.0);
+                }
+            });
+        },
+        iters,
+        reps,
+    );
+    (batches * width) as f64 * f64::from(ADVANCES_PER_CALL) / ns * 1e9
+}
+
 /// Per-call cost of the telemetry macros while recording is off, in
 /// ns/op. Must run before anything enables recording: the whole point is
 /// the price every instrumented call site pays when telemetry is idle.
@@ -161,12 +229,14 @@ fn measure_scenario(max_sim_time: f64) -> (f64, f64) {
 
 fn main() {
     let mut quick = false;
+    let mut gate = false;
     let mut out_path = String::from("BENCH_thermal.json");
     let mut telemetry: Option<String> = None;
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--gate" => gate = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--telemetry" => {
                 telemetry = Some(match args.peek() {
@@ -176,12 +246,32 @@ fn main() {
             }
             other => {
                 eprintln!("bench_thermal: unknown flag {other:?}");
-                eprintln!("usage: bench_thermal [--quick] [--out PATH] [--telemetry [PATH]]");
+                eprintln!(
+                    "usage: bench_thermal [--quick] [--gate] [--out PATH] [--telemetry [PATH]]"
+                );
                 std::process::exit(2);
             }
         }
     }
     let (iters, reps) = if quick { (2_000, 3) } else { (20_000, 7) };
+
+    // Read the committed number before we overwrite the file: the gate
+    // compares fresh measurements against what the repo last recorded.
+    let gate_baseline: Option<f64> = if gate {
+        let committed = std::fs::read_to_string(&out_path)
+            .ok()
+            .and_then(|text| Value::parse(&text).ok())
+            .and_then(|doc| doc.get("die_advance_1s_ns").and_then(Value::as_f64));
+        if committed.is_none() {
+            eprintln!(
+                "bench_thermal: --gate requested but no committed die_advance_1s_ns \
+                 in {out_path}; gate skipped (first run?)"
+            );
+        }
+        committed
+    } else {
+        None
+    };
 
     let mut doc = Value::object();
     doc.set("bench", Value::Str("bench_thermal".into()));
@@ -224,6 +314,69 @@ fn main() {
     let speedup = SEED_BASELINE_DIE_ADVANCE_1S_NS / default_ns;
     doc.set("speedup_vs_baseline", Value::num(speedup));
     println!("speedup vs seed baseline: {speedup:.1}x");
+
+    if let Some(committed) = gate_baseline {
+        let ratio = default_ns / committed;
+        if ratio > 3.0 {
+            eprintln!(
+                "bench_thermal: GATE FAILED: die_advance_1s {default_ns:.0} ns is {ratio:.2}x \
+                 the committed {committed:.0} ns (limit 3x); {out_path} left untouched"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate: die_advance_1s {default_ns:.0} ns vs committed {committed:.0} ns \
+             ({ratio:.2}x, limit 3x)"
+        );
+    }
+
+    // Batched stepping: fleets of quad-core dies sharing one propagator
+    // GEMM per advance. Telemetry is still off here, so the batch path's
+    // counter!/gauge! sites cost one relaxed load each and the
+    // allocs_per_advance numbers stay clean.
+    let mut batch_doc = Value::object();
+    batch_doc.set(
+        "workload",
+        Value::Str("N quad-core dies, per-die power profiles, advance(1.0 s)".into()),
+    );
+    let mut widths = Value::object();
+    let mut n512_rate = f64::NAN;
+    for width in [1usize, 8, 64, 512] {
+        let (fleet_ns, allocs) = measure_batch(width, iters, reps);
+        let rate = width as f64 / fleet_ns * 1e9;
+        println!(
+            "batch_advance_1s [N={width}]: {fleet_ns:.0} ns/fleet-advance, \
+             {rate:.3e} die-advances/s, {allocs} allocs/advance"
+        );
+        let mut entry = Value::object();
+        entry.set("fleet_advance_1s_ns", Value::num(fleet_ns));
+        entry.set("die_advances_per_sec", Value::num(rate));
+        entry.set("allocs_per_advance", Value::UInt(allocs));
+        widths.set(&width.to_string(), entry);
+        if width == 512 {
+            n512_rate = rate;
+        }
+    }
+    batch_doc.set("widths", widths);
+    batch_doc.set("die_advances_per_sec_n512", Value::num(n512_rate));
+
+    let workers = default_workers();
+    let par_rate = measure_parallel_fleet(
+        workers,
+        512,
+        if quick { 20 } else { 60 },
+        if quick { 3 } else { 5 },
+    );
+    println!(
+        "parallel fleet [{workers} batches x 512 dies via par_for_each_mut]: \
+         {par_rate:.3e} die-advances/s"
+    );
+    let mut par = Value::object();
+    par.set("batches", Value::UInt(workers as u64));
+    par.set("width", Value::UInt(512));
+    par.set("die_advances_per_sec", Value::num(par_rate));
+    batch_doc.set("parallel_fleet", par);
+    doc.set("batch", batch_doc);
 
     let (counter_ns, span_ns, event_ns) = measure_disabled_overhead();
     println!(

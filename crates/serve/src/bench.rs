@@ -38,6 +38,9 @@ pub struct BenchConfig {
     pub requests: u64,
     /// Client connections (dies are spread over them `d % C`).
     pub connections: usize,
+    /// Whether this run used the `--quick` CI preset (recorded in the
+    /// report so committed numbers are comparable run-to-run).
+    pub quick: bool,
     /// Where to write the JSON report (`None` skips the file).
     pub out: Option<PathBuf>,
 }
@@ -51,6 +54,7 @@ impl Default for BenchConfig {
             rate: 2000.0,
             requests: 4000,
             connections: 4,
+            quick: false,
             out: Some(PathBuf::from("BENCH_serve.json")),
         }
     }
@@ -59,6 +63,9 @@ impl Default for BenchConfig {
 /// What one load run measured.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
+    /// The generator parameters that produced the numbers (pinned in the
+    /// report's `config` object).
+    pub config: BenchConfig,
     /// Dies driven.
     pub dies: usize,
     /// Observes sent.
@@ -101,8 +108,17 @@ impl BenchReport {
                         .collect(),
                 ),
             );
+        let mut config = Value::object();
+        config
+            .set("dies", Value::UInt(self.config.dies as u64))
+            .set("cores", Value::UInt(self.config.cores as u64))
+            .set("rate_rps", Value::num(self.config.rate))
+            .set("requests", Value::UInt(self.config.requests))
+            .set("connections", Value::UInt(self.config.connections as u64));
         let mut v = Value::object();
         v.set("name", Value::Str("serve_loadgen".into()))
+            .set("quick", Value::Bool(self.config.quick))
+            .set("config", config)
             .set("dies", Value::UInt(self.dies as u64))
             .set("requests", Value::UInt(self.requests))
             .set("connections", Value::UInt(self.connections as u64))
@@ -184,6 +200,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
 
     let report = BenchReport {
+        config: cfg.clone(),
         dies: cfg.dies,
         requests: cfg.requests,
         connections,

@@ -29,6 +29,7 @@
 
 #![deny(missing_docs)]
 
+pub(crate) mod batcher;
 pub mod bench;
 pub mod proto;
 pub mod session;
@@ -42,7 +43,7 @@ use thermorl_telemetry as tel;
 
 pub use bench::{run_bench, BenchConfig, BenchReport};
 pub use proto::{Decision, Message, StatsReport, SERVE_PROTOCOL_VERSION};
-pub use session::{Session, SessionMode, StepOutcome};
+pub use session::{BeginOutcome, Session, SessionMode, StepOutcome};
 pub use supervisor::{ServeConfig, ServeReport, Supervisor, SupervisorHandle};
 
 use thermorl_dispatch::proto::{read_message, write_message};
@@ -200,6 +201,7 @@ fn bench_command(args: &[String]) -> Result<i32, String> {
             }
             "--out" => config.out = Some(PathBuf::from(args.next().ok_or("--out needs a path")?)),
             "--quick" => {
+                config.quick = true;
                 config.dies = 4;
                 config.requests = 600;
                 config.rate = 3000.0;

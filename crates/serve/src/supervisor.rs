@@ -19,7 +19,7 @@
 //! every one, and on startup the supervisor resolves last-wins per die,
 //! then compacts the store down to one line per die.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter};
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
@@ -37,8 +37,9 @@ use thermorl_runner::{job_seed, shard_of};
 use thermorl_sim::json::Value;
 use thermorl_telemetry as tel;
 
+use crate::batcher::{PendingObserve, ShardBatcher};
 use crate::proto::{Message, StatsReport, SERVE_PROTOCOL_VERSION};
-use crate::session::{Session, SessionMode, SNAPSHOT_STATUS};
+use crate::session::{BeginOutcome, Session, SessionMode, SNAPSHOT_STATUS};
 
 /// Supervisor configuration.
 #[derive(Debug, Clone)]
@@ -383,7 +384,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     Ok(())
 }
 
+/// Most requests a shard drains from its channel into one micro-batch
+/// before processing (bounds batch latency and per-flush memory).
+const MAX_DRAIN: usize = 256;
+
 /// One session worker: owns every session whose die hashes to it.
+///
+/// Requests are drained in micro-batches: one blocking `recv`, then
+/// whatever else is already queued. Power-mode observes that validate
+/// cleanly park in a [`PendingObserve`] list — their dies advance
+/// *together* through the shard's [`ShardBatcher`] (one propagator GEMM
+/// per same-shape group) — while everything else flushes the batch first
+/// and is handled inline, preserving strict FIFO effects. With a single
+/// client streaming one die the drain holds one request and behaviour is
+/// identical to unbatched serving, bit for bit.
 fn run_shard(
     rx: Receiver<ShardRequest>,
     mut pending: HashMap<String, Value>,
@@ -393,16 +407,148 @@ fn run_shard(
     cfg: ServeConfig,
 ) {
     let mut sessions: HashMap<String, Session> = HashMap::new();
-    while let Ok(req) = rx.recv() {
-        let reply =
-            handle_shard_message(req.msg, &mut sessions, &mut pending, &store, &stats, &cfg);
-        // The client may have hung up; a dead reply channel is fine.
-        let _ = req.reply.send(reply);
+    let mut batcher = ShardBatcher::new();
+    let mut queue: VecDeque<ShardRequest> = VecDeque::new();
+    let mut batch: Vec<PendingObserve> = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(req) => queue.push_back(req),
+            Err(_) => break,
+        }
+        while queue.len() < MAX_DRAIN {
+            match rx.try_recv() {
+                Ok(req) => queue.push_back(req),
+                Err(_) => break,
+            }
+        }
+        while let Some(req) = queue.pop_front() {
+            match try_admit(req, &mut sessions, &mut batch) {
+                None => {}
+                Some(req) => {
+                    // Not batchable: flush what's pending (keeping FIFO
+                    // effect order), then handle inline.
+                    flush_batch(
+                        &mut batcher,
+                        &mut batch,
+                        &mut sessions,
+                        &store,
+                        &stats,
+                        &cfg,
+                    );
+                    let reply = handle_shard_message(
+                        req.msg,
+                        &mut sessions,
+                        &mut pending,
+                        &store,
+                        &stats,
+                        &cfg,
+                    );
+                    // The client may have hung up; a dead reply channel
+                    // is fine.
+                    let _ = req.reply.send(reply);
+                }
+            }
+        }
+        flush_batch(
+            &mut batcher,
+            &mut batch,
+            &mut sessions,
+            &store,
+            &stats,
+            &cfg,
+        );
     }
     if !hard.load(Ordering::SeqCst) {
         for session in sessions.values() {
             write_snapshot(session, &store, &stats);
         }
+    }
+}
+
+/// Admits `req` to the current micro-batch when it is a power-mode
+/// observe that will advance its die (in-sequence, right payload length,
+/// die not already pending this batch). Returns the request back when it
+/// must be handled inline instead.
+fn try_admit(
+    req: ShardRequest,
+    sessions: &mut HashMap<String, Session>,
+    batch: &mut Vec<PendingObserve>,
+) -> Option<ShardRequest> {
+    let admissible = if let Message::Observe { die, seq, values } = &req.msg {
+        !batch.iter().any(|p| &p.die == die)
+            && sessions.get(die).is_some_and(|s| {
+                s.mode() == SessionMode::Power && *seq == s.seq() + 1 && values.len() == s.cores()
+            })
+    } else {
+        false
+    };
+    if !admissible {
+        return Some(req);
+    }
+    let Message::Observe { die, seq, values } = req.msg else {
+        unreachable!("admissibility checked above")
+    };
+    let session = sessions.get_mut(&die).expect("admissibility checked above");
+    match session.begin_step(seq, &values) {
+        Ok(BeginOutcome::Ready) => {
+            batch.push(PendingObserve {
+                die,
+                seq,
+                values,
+                reply: req.reply,
+            });
+            None
+        }
+        // Unreachable given the admissibility checks, but degrade to the
+        // scalar protocol answers rather than panicking a shard.
+        Ok(BeginOutcome::Duplicate) => {
+            let _ = req.reply.send(Message::Ack {
+                die,
+                seq,
+                duplicate: true,
+                decision: None,
+            });
+            None
+        }
+        Err(message) => {
+            let _ = req.reply.send(Message::Error { message });
+            None
+        }
+    }
+}
+
+/// Advances every pending die (grouped through the batcher), then
+/// finishes each observe in admission order: sensor read, agent sample,
+/// stats, epoch snapshots, and the `Ack` reply.
+fn flush_batch(
+    batcher: &mut ShardBatcher,
+    batch: &mut Vec<PendingObserve>,
+    sessions: &mut HashMap<String, Session>,
+    store: &Arc<Mutex<CheckpointStore>>,
+    stats: &Arc<Stats>,
+    cfg: &ServeConfig,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    batcher.advance(batch, sessions);
+    for p in batch.drain(..) {
+        let session = sessions.get_mut(&p.die).expect("pending die is attached");
+        let outcome = session.finish_step(p.seq, &p.values);
+        stats.observes_total.fetch_add(1, Ordering::Relaxed);
+        if outcome.decision.is_some() {
+            stats.decisions_total.fetch_add(1, Ordering::Relaxed);
+            tel::counter!("serve.decisions_total");
+            if cfg.snapshot_every > 0 && session.epochs().is_multiple_of(cfg.snapshot_every) {
+                write_snapshot(session, store, stats);
+            }
+        }
+        let _ = p.reply.send(Message::Ack {
+            die: p.die,
+            seq: p.seq,
+            duplicate: false,
+            decision: outcome.decision,
+        });
     }
 }
 

@@ -1,0 +1,620 @@
+//! Batched stepping: advance whole fleets of identical-structure dies
+//! with one propagator GEMM.
+//!
+//! A [`NetworkBatch`] holds N dies that share one network *structure*
+//! (capacitances, conductance graph, steady-state LU) but carry
+//! independent *state* (temperatures, powers, ambient). State lives in
+//! contiguous node-major buffers — entry `(node, die)` at
+//! `buf[node * width + die]` — so the exact stepper advances every die at
+//! once with a single matrix–matrix product
+//!
+//! ```text
+//! [T₁' T₂' … Tₙ'] = T_ss + E · ([T₁ T₂ … Tₙ] - T_ss)
+//! ```
+//!
+//! via [`Matrix::mul_cols_into`], amortising the cached propagator
+//! `E = exp(-C⁻¹A·dt)` and the build-time LU across the whole batch
+//! instead of paying one matrix–vector pass per die.
+//!
+//! **Bit-exactness is a hard contract**: a die advanced inside a batch
+//! produces bit-for-bit the temperatures of the same die advanced alone
+//! through [`RcNetwork::advance`] (pinned by the `batch_agrees_with_scalar`
+//! proptest). Every batch operation is either elementwise or accumulates
+//! in the same order as its scalar counterpart, and the propagator/LU are
+//! built by the same code paths. This is what lets the serve layer route
+//! sessions through a shard-wide batch while keeping snapshots, and the
+//! campaign runner keep checkpoints, byte-identical.
+//!
+//! **Dirty-column rule**: changing one die's power or ambient marks only
+//! that die's column of the cached steady state dirty; the next exact
+//! step refreshes exactly the dirty columns (one LU solve each). A step
+//! size change rebuilds the shared propagator and re-dirties every
+//! column, mirroring the scalar cache.
+
+use crate::floorplan::DieModel;
+use crate::linalg::Matrix;
+use crate::network::{NodeId, RcNetwork};
+use crate::stepper::Stepper;
+
+/// The shared exact propagator for one step size (one matrix for the
+/// whole batch; steady states live per column in the batch itself).
+#[derive(Debug, Clone)]
+struct BatchExactCache {
+    dt: f64,
+    /// `E = exp(-C⁻¹A·dt)`, built by [`RcNetwork::propagator_matrix`].
+    propagator: Matrix,
+}
+
+/// Preallocated batch stepper scratch (all buffers `nodes × width`,
+/// except the per-column solve scratch `rhs`/`col` of length `nodes`),
+/// so batched stepping never touches the heap once the propagator for
+/// the current step size is cached.
+#[derive(Debug, Clone, Default)]
+struct BatchWorkspace {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+    t0: Vec<f64>,
+    rhs: Vec<f64>,
+    col: Vec<f64>,
+}
+
+impl BatchWorkspace {
+    fn new(nodes: usize, width: usize) -> Self {
+        BatchWorkspace {
+            k1: vec![0.0; nodes * width],
+            k2: vec![0.0; nodes * width],
+            k3: vec![0.0; nodes * width],
+            k4: vec![0.0; nodes * width],
+            tmp: vec![0.0; nodes * width],
+            t0: vec![0.0; nodes * width],
+            rhs: vec![0.0; nodes],
+            col: vec![0.0; nodes],
+        }
+    }
+}
+
+/// N same-structure dies advanced together; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct NetworkBatch {
+    /// Prototype network carrying the shared structure (CSR graph,
+    /// capacitances, steady-state LU). Its own state vectors are unused.
+    proto: RcNetwork,
+    width: usize,
+    nodes: usize,
+    /// Node temperatures (°C), node-major: `temps[node * width + die]`.
+    temps: Vec<f64>,
+    /// Injected node powers (W), node-major.
+    powers: Vec<f64>,
+    /// Per-die ambient temperature (°C).
+    ambient: Vec<f64>,
+    /// Per-die steady-state temperatures, node-major; column `d` is valid
+    /// iff `steady_dirty[d]` is false.
+    t_ss: Vec<f64>,
+    /// Which dies changed power/ambient since their last steady refresh.
+    steady_dirty: Vec<bool>,
+    exact: Option<BatchExactCache>,
+    ws: BatchWorkspace,
+    propagator_builds: u64,
+    steady_refreshes: u64,
+}
+
+/// One O(nnz·width) CSR sweep computing dT/dt for every (node, die); the
+/// per-element expression shape is identical to the scalar
+/// `RcNetwork::derivative`, so each die's slopes match bit-for-bit.
+#[allow(clippy::too_many_arguments)] // explicit slices keep borrows disjoint
+fn batch_derivative(
+    proto: &RcNetwork,
+    powers: &[f64],
+    ambient: &[f64],
+    width: usize,
+    t: &[f64],
+    out: &mut [f64],
+) {
+    let n = proto.len();
+    for i in 0..n {
+        let g_amb = proto.ambient_conductance[i];
+        let diag = proto.diag_g[i];
+        let cap = proto.capacitance[i];
+        let base = i * width;
+        for d in 0..width {
+            let mut q = powers[base + d] + g_amb * ambient[d] - diag * t[base + d];
+            for k in proto.row_ptr[i]..proto.row_ptr[i + 1] {
+                q += proto.edge_g[k] * t[proto.col_idx[k] * width + d];
+            }
+            out[base + d] = q / cap;
+        }
+    }
+}
+
+impl NetworkBatch {
+    /// Creates a batch of `width` dies, each starting as a state clone of
+    /// `proto` (its temperatures, powers and ambient are broadcast to
+    /// every column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(proto: &RcNetwork, width: usize) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        let nodes = proto.len();
+        let mut temps = vec![0.0; nodes * width];
+        let mut powers = vec![0.0; nodes * width];
+        for i in 0..nodes {
+            temps[i * width..(i + 1) * width].fill(proto.temperatures()[i]);
+            powers[i * width..(i + 1) * width].fill(proto.powers()[i]);
+        }
+        NetworkBatch {
+            proto: proto.clone(),
+            width,
+            nodes,
+            temps,
+            powers,
+            ambient: vec![proto.ambient(); width],
+            t_ss: vec![0.0; nodes * width],
+            steady_dirty: vec![true; width],
+            exact: None,
+            ws: BatchWorkspace::new(nodes, width),
+            propagator_builds: 0,
+            steady_refreshes: 0,
+        }
+    }
+
+    /// Number of dies in the batch.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of thermal nodes per die.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// How many times the shared propagator was (re)built — once per
+    /// distinct step size seen by [`Stepper::Exact`].
+    pub fn propagator_builds(&self) -> u64 {
+        self.propagator_builds
+    }
+
+    /// How many per-die steady-state columns have been refreshed (one LU
+    /// solve each, triggered by that die's power/ambient changes).
+    pub fn steady_refreshes(&self) -> u64 {
+        self.steady_refreshes
+    }
+
+    /// Sets the power (W) injected into one node of one die; marks only
+    /// that die's steady-state column dirty (no-op if unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` is out of range.
+    pub fn set_power(&mut self, die: usize, node: NodeId, watts: f64) {
+        assert!(die < self.width, "die index out of range");
+        let idx = node.index() * self.width + die;
+        if self.powers[idx] != watts {
+            self.powers[idx] = watts;
+            self.steady_dirty[die] = true;
+        }
+    }
+
+    /// Power currently injected into a node of a die (W).
+    pub fn power(&self, die: usize, node: NodeId) -> f64 {
+        self.powers[node.index() * self.width + die]
+    }
+
+    /// Sets one die's ambient temperature (°C); marks only that die's
+    /// steady-state column dirty (no-op if unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` is out of range.
+    pub fn set_ambient(&mut self, die: usize, ambient_c: f64) {
+        assert!(die < self.width, "die index out of range");
+        if self.ambient[die] != ambient_c {
+            self.ambient[die] = ambient_c;
+            self.steady_dirty[die] = true;
+        }
+    }
+
+    /// One die's ambient temperature (°C).
+    pub fn ambient(&self, die: usize) -> f64 {
+        self.ambient[die]
+    }
+
+    /// Current temperature (°C) of one node of one die.
+    pub fn temperature(&self, die: usize, node: NodeId) -> f64 {
+        self.temps[node.index() * self.width + die]
+    }
+
+    /// Copies one die's node temperatures (network node order) into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.nodes()`.
+    pub fn temperatures_into(&self, die: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.nodes, "out must cover every node");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.temps[i * self.width + die];
+        }
+    }
+
+    /// Overrides one die's node temperatures from a slice in network node
+    /// order (e.g. restoring a checkpoint into a batch column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps.len() != self.nodes()`.
+    pub fn set_temperatures(&mut self, die: usize, temps: &[f64]) {
+        assert_eq!(temps.len(), self.nodes, "temps must cover every node");
+        for (i, &t) in temps.iter().enumerate() {
+            self.temps[i * self.width + die] = t;
+        }
+    }
+
+    /// Rebuilds the shared propagator if the cached one was built for a
+    /// different step size; a rebuild re-dirties every steady column,
+    /// mirroring the scalar cache.
+    fn ensure_exact_cache(&mut self, dt: f64) {
+        if self.exact.as_ref().is_some_and(|c| c.dt == dt) {
+            return;
+        }
+        self.exact = Some(BatchExactCache {
+            dt,
+            propagator: self.proto.propagator_matrix(dt),
+        });
+        self.propagator_builds += 1;
+        thermorl_telemetry::counter!("thermal.propagator_builds");
+        thermorl_telemetry::event!(
+            "thermal.rebuild",
+            "batch propagator dt={dt} width={}",
+            self.width
+        );
+        self.steady_dirty.fill(true);
+    }
+
+    /// Advances every die by a single step of `dt` seconds.
+    ///
+    /// Identical semantics to [`RcNetwork::step`] applied to each die;
+    /// no step allocates once the exact propagator for `dt` is cached.
+    pub fn step(&mut self, dt: f64, stepper: Stepper) {
+        let mut ws = std::mem::take(&mut self.ws);
+        match stepper {
+            Stepper::ForwardEuler => {
+                batch_derivative(
+                    &self.proto,
+                    &self.powers,
+                    &self.ambient,
+                    self.width,
+                    &self.temps,
+                    &mut ws.k1,
+                );
+                for (t, d) in self.temps.iter_mut().zip(&ws.k1) {
+                    *t += dt * d;
+                }
+            }
+            Stepper::Rk4 => {
+                ws.t0.copy_from_slice(&self.temps);
+                batch_derivative(
+                    &self.proto,
+                    &self.powers,
+                    &self.ambient,
+                    self.width,
+                    &ws.t0,
+                    &mut ws.k1,
+                );
+                for i in 0..ws.t0.len() {
+                    ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k1[i];
+                }
+                batch_derivative(
+                    &self.proto,
+                    &self.powers,
+                    &self.ambient,
+                    self.width,
+                    &ws.tmp,
+                    &mut ws.k2,
+                );
+                for i in 0..ws.t0.len() {
+                    ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k2[i];
+                }
+                batch_derivative(
+                    &self.proto,
+                    &self.powers,
+                    &self.ambient,
+                    self.width,
+                    &ws.tmp,
+                    &mut ws.k3,
+                );
+                for i in 0..ws.t0.len() {
+                    ws.tmp[i] = ws.t0[i] + dt * ws.k3[i];
+                }
+                batch_derivative(
+                    &self.proto,
+                    &self.powers,
+                    &self.ambient,
+                    self.width,
+                    &ws.tmp,
+                    &mut ws.k4,
+                );
+                for i in 0..ws.t0.len() {
+                    self.temps[i] = ws.t0[i]
+                        + dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
+                }
+            }
+            Stepper::Exact => {
+                self.ensure_exact_cache(dt);
+                let cache = self.exact.take().expect("cache ensured above");
+                // Refresh exactly the dirty steady-state columns: build
+                // that die's rhs, one LU solve, scatter the column back.
+                for die in 0..self.width {
+                    if !self.steady_dirty[die] {
+                        continue;
+                    }
+                    for i in 0..self.nodes {
+                        ws.rhs[i] = self.powers[i * self.width + die]
+                            + self.proto.ambient_conductance[i] * self.ambient[die];
+                    }
+                    self.proto.lu.solve_into(&ws.rhs, &mut ws.col);
+                    for i in 0..self.nodes {
+                        self.t_ss[i * self.width + die] = ws.col[i];
+                    }
+                    self.steady_dirty[die] = false;
+                    self.steady_refreshes += 1;
+                    thermorl_telemetry::counter!("thermal.steady_refreshes");
+                }
+                // T(t+dt) = T_ss + E·(T(t) - T_ss), all dies in one GEMM.
+                for i in 0..self.temps.len() {
+                    ws.tmp[i] = self.temps[i] - self.t_ss[i];
+                }
+                cache
+                    .propagator
+                    .mul_cols_into(&ws.tmp, &mut ws.k1, self.width);
+                for i in 0..self.temps.len() {
+                    self.temps[i] = self.t_ss[i] + ws.k1[i];
+                }
+                self.exact = Some(cache);
+            }
+        }
+        self.ws = ws;
+    }
+
+    /// Advances every die by `duration` seconds — the batched counterpart
+    /// of [`RcNetwork::advance`], with the identical sub-step splitting
+    /// (so a batched die and a scalar die run the same step sequence).
+    pub fn advance(&mut self, duration: f64, dt: f64, stepper: Stepper) {
+        if duration <= 0.0 {
+            return;
+        }
+        thermorl_telemetry::counter!("thermal.batch_advances");
+        thermorl_telemetry::gauge!("thermal.batch_width", self.width as f64);
+        if stepper == Stepper::Exact {
+            self.step(duration, stepper);
+            return;
+        }
+        let ratio = duration / dt;
+        let steps = if (ratio - ratio.round()).abs() < 1e-9 {
+            ratio.round() as u64
+        } else {
+            ratio.floor() as u64
+        };
+        for _ in 0..steps {
+            self.step(dt, stepper);
+        }
+        let remainder = duration - steps as f64 * dt;
+        if remainder > 1e-12 {
+            self.step(remainder, stepper);
+        }
+    }
+}
+
+/// A batch of [`DieModel`]-shaped dies: a [`NetworkBatch`] plus the die's
+/// core-node map and integration configuration, so whole fleets of
+/// identical dies step together with the prototype's `sim_dt`/stepper.
+///
+/// This is the unit the serve supervisor batches sessions through (one
+/// `DieBatch` per distinct die shape on a shard) and the runner sweeps in
+/// parallel.
+#[derive(Debug, Clone)]
+pub struct DieBatch {
+    batch: NetworkBatch,
+    core_nodes: Vec<NodeId>,
+    sim_dt: f64,
+    stepper: Stepper,
+}
+
+impl DieBatch {
+    /// Creates a batch of `width` dies, each starting as a state clone of
+    /// the prototype die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(proto: &DieModel, width: usize) -> Self {
+        DieBatch {
+            batch: NetworkBatch::new(proto.network(), width),
+            core_nodes: proto.core_nodes().to_vec(),
+            sim_dt: proto.params().sim_dt,
+            stepper: proto.params().stepper,
+        }
+    }
+
+    /// Number of dies in the batch.
+    pub fn width(&self) -> usize {
+        self.batch.width()
+    }
+
+    /// Number of cores per die.
+    pub fn num_cores(&self) -> usize {
+        self.core_nodes.len()
+    }
+
+    /// Number of thermal nodes per die.
+    pub fn nodes(&self) -> usize {
+        self.batch.nodes()
+    }
+
+    /// The underlying network batch.
+    pub fn network_batch(&self) -> &NetworkBatch {
+        &self.batch
+    }
+
+    /// Sets the power (W) dissipated on one core of one die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` or `core` is out of range.
+    pub fn set_core_power(&mut self, die: usize, core: usize, watts: f64) {
+        self.batch.set_power(die, self.core_nodes[core], watts);
+    }
+
+    /// Exact temperature (°C) of one core of one die.
+    pub fn core_temperature(&self, die: usize, core: usize) -> f64 {
+        self.batch.temperature(die, self.core_nodes[core])
+    }
+
+    /// Sets one die's ambient temperature (°C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` is out of range.
+    pub fn set_ambient(&mut self, die: usize, ambient_c: f64) {
+        self.batch.set_ambient(die, ambient_c);
+    }
+
+    /// Loads one die's full thermal state — node temperatures (network
+    /// order), per-core powers, ambient — as captured by
+    /// [`DieModel::thermal_state`]; subsequent advances continue
+    /// bit-identically to the checkpointed die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not cover every node.
+    pub fn load_die(&mut self, die: usize, temps: &[f64], core_powers: &[f64], ambient: f64) {
+        self.batch.set_ambient(die, ambient);
+        let cores = self.core_nodes.len().min(core_powers.len());
+        for (core, &power) in core_powers.iter().enumerate().take(cores) {
+            self.batch.set_power(die, self.core_nodes[core], power);
+        }
+        self.batch.set_temperatures(die, temps);
+    }
+
+    /// Copies one die's node temperatures (network node order) into `out`,
+    /// the inverse of the temperature part of [`DieBatch::load_die`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.nodes()`.
+    pub fn store_die(&self, die: usize, out: &mut [f64]) {
+        self.batch.temperatures_into(die, out);
+    }
+
+    /// Advances every die by `duration` seconds with the prototype's
+    /// configured internal step — the batched [`DieModel::advance`].
+    pub fn advance(&mut self, duration: f64) {
+        self.batch.advance(duration, self.sim_dt, self.stepper);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RcNetworkBuilder;
+
+    fn two_node() -> RcNetwork {
+        let mut b = RcNetworkBuilder::new(20.0);
+        let core = b.add_node("core", 5.0);
+        let sink = b.add_node("sink", 50.0);
+        b.connect(core, sink, 2.0);
+        b.connect_ambient(sink, 1.0);
+        let mut net = b.build().unwrap();
+        net.set_power(core, 10.0);
+        net
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise_across_steppers() {
+        for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+            let proto = two_node();
+            let width = 5;
+            let mut batch = NetworkBatch::new(&proto, width);
+            let mut scalars: Vec<RcNetwork> = (0..width).map(|_| proto.clone()).collect();
+            // Distinct per-die powers so columns genuinely diverge.
+            for (d, scalar) in scalars.iter_mut().enumerate() {
+                batch.set_power(d, NodeId(0), 2.0 * d as f64 + 1.0);
+                scalar.set_power(NodeId(0), 2.0 * d as f64 + 1.0);
+            }
+            batch.advance(1.0, 0.25, stepper);
+            for s in &mut scalars {
+                s.advance(1.0, 0.25, stepper);
+            }
+            for (d, scalar) in scalars.iter().enumerate() {
+                for i in 0..proto.len() {
+                    assert_eq!(
+                        batch.temperature(d, NodeId(i)).to_bits(),
+                        scalar.temperatures()[i].to_bits(),
+                        "{stepper} die {d} node {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_column_refresh_is_per_die() {
+        let proto = two_node();
+        let mut batch = NetworkBatch::new(&proto, 4);
+        batch.step(0.1, Stepper::Exact);
+        assert_eq!(batch.propagator_builds(), 1);
+        assert_eq!(batch.steady_refreshes(), 4, "all columns start dirty");
+
+        // Unchanged: no refresh at all.
+        batch.step(0.1, Stepper::Exact);
+        assert_eq!(batch.steady_refreshes(), 4);
+
+        // Touch one die: exactly one column refreshes.
+        batch.set_power(2, NodeId(0), 3.0);
+        batch.step(0.1, Stepper::Exact);
+        assert_eq!(batch.steady_refreshes(), 5);
+        assert_eq!(batch.propagator_builds(), 1);
+
+        // New dt: propagator rebuilt, every column re-dirtied.
+        batch.step(0.2, Stepper::Exact);
+        assert_eq!(batch.propagator_builds(), 2);
+        assert_eq!(batch.steady_refreshes(), 9);
+    }
+
+    #[test]
+    fn ambient_is_per_die() {
+        let proto = two_node();
+        let mut batch = NetworkBatch::new(&proto, 2);
+        batch.set_ambient(1, 35.0);
+        batch.advance(4000.0, 1.0, Stepper::Exact);
+        // Die 1 sits 15 °C above die 0 in steady state.
+        let d0 = batch.temperature(0, NodeId(1));
+        let d1 = batch.temperature(1, NodeId(1));
+        assert!((d1 - d0 - 15.0).abs() < 1e-9, "{d0} vs {d1}");
+    }
+
+    #[test]
+    fn die_batch_round_trips_die_model_state() {
+        let mut donor = DieModel::quad_core();
+        for c in 0..4 {
+            donor.set_core_power(c, 6.0 + c as f64);
+        }
+        donor.advance(3.7);
+        let (temps, powers, ambient) = donor.thermal_state();
+
+        let proto = DieModel::quad_core();
+        let mut batch = DieBatch::new(&proto, 3);
+        batch.load_die(1, &temps, &powers, ambient);
+        batch.advance(2.0);
+        donor.advance(2.0);
+
+        let mut out = vec![0.0; batch.nodes()];
+        batch.store_die(1, &mut out);
+        for (a, b) in out.iter().zip(donor.network().temperatures()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "batched die diverged");
+        }
+    }
+}

@@ -349,6 +349,23 @@ impl DieModel {
         &self.network
     }
 
+    /// The network node of each core, indexed by core id — the map
+    /// [`crate::DieBatch`] uses to address core powers inside a batch.
+    pub fn core_nodes(&self) -> &[NodeId] {
+        &self.core_nodes
+    }
+
+    /// Overrides all node temperatures (network node order) without
+    /// touching powers or ambient — how a batched advance writes its
+    /// result back into the die it was copied from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps` does not cover every network node.
+    pub fn set_node_temperatures(&mut self, temps: &[f64]) {
+        self.network.set_temperatures(temps);
+    }
+
     /// The die's full mutable thermal state — `(node temperatures,
     /// per-core powers, ambient)` — everything a checkpoint needs; the
     /// structure (floorplan, parameters) is configuration and stays out.

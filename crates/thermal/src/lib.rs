@@ -28,12 +28,14 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod floorplan;
 pub mod linalg;
 pub mod network;
 pub mod sensor;
 pub mod stepper;
 
+pub use batch::{DieBatch, NetworkBatch};
 pub use floorplan::{DieModel, DieParams, Floorplan};
 pub use network::{NodeId, RcNetwork, RcNetworkBuilder};
 pub use sensor::{SensorBank, SensorParams, ThermalSensor};

@@ -131,9 +131,27 @@ impl Matrix {
     ///
     /// Panics if the dimensions differ.
     pub fn mul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.n);
+        self.mul_into(other, &mut out);
+        out
+    }
+
+    /// Multiplies `self * other` into a caller-provided matrix, performing
+    /// no heap allocation (the repeated-product workhorse of
+    /// [`Matrix::expm`]'s scaling-and-squaring loop, which previously
+    /// churned a temporary matrix per series term).
+    ///
+    /// `out` may not alias `self` or `other`; the accumulation order is
+    /// identical to [`Matrix::mul`], so results are bit-for-bit equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension differs.
+    pub fn mul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.n, other.n, "matrix dimensions must match");
+        assert_eq!(self.n, out.n, "output dimension must match");
         let n = self.n;
-        let mut out = Matrix::zeros(n);
+        out.data.fill(0.0);
         for i in 0..n {
             for k in 0..n {
                 let a = self.data[i * n + k];
@@ -147,7 +165,53 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// Multiplies `self` against a block of `ncols` column vectors stored
+    /// node-major (entry `(i, j)` of the block at `x[i * ncols + j]`),
+    /// writing the product in the same layout — the column-block variant
+    /// of [`Matrix::mul_vec_into`] and the GEMM kernel behind
+    /// [`crate::NetworkBatch`]: one call advances a whole fleet of dies.
+    ///
+    /// The inner loop is tiled over columns so a register-resident
+    /// accumulator strip sweeps contiguous memory in both `x` and `out`
+    /// (the node-major layout is what makes the sweep contiguous), while
+    /// each output element still accumulates in ascending-`k` order —
+    /// column `j` of the result is bit-for-bit what [`Matrix::mul_vec_into`]
+    /// produces for column `j` alone, which is what keeps batched dies
+    /// bit-identical to independently stepped ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` have lengths other than `self.dim() * ncols`.
+    pub fn mul_cols_into(&self, x: &[f64], out: &mut [f64], ncols: usize) {
+        let n = self.n;
+        assert_eq!(x.len(), n * ncols, "x must hold dim * ncols entries");
+        assert_eq!(out.len(), n * ncols, "out must hold dim * ncols entries");
+        const TILE: usize = 8;
+        for i in 0..n {
+            let row = &self.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + TILE <= ncols {
+                let mut acc = [0.0f64; TILE];
+                for (k, &a) in row.iter().enumerate() {
+                    let xs = &x[k * ncols + j..k * ncols + j + TILE];
+                    for (t, &b) in acc.iter_mut().zip(xs) {
+                        *t += a * b;
+                    }
+                }
+                out[i * ncols + j..i * ncols + j + TILE].copy_from_slice(&acc);
+                j += TILE;
+            }
+            while j < ncols {
+                let mut acc = 0.0;
+                for (k, &a) in row.iter().enumerate() {
+                    acc += a * x[k * ncols + j];
+                }
+                out[i * ncols + j] = acc;
+                j += 1;
+            }
+        }
     }
 
     /// Returns `self` with every entry multiplied by `factor`.
@@ -155,6 +219,13 @@ impl Matrix {
         Matrix {
             n: self.n,
             data: self.data.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Multiplies every entry by `factor` in place (no allocation).
+    pub fn scale_in_place(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
         }
     }
 
@@ -190,8 +261,13 @@ impl Matrix {
         let x = self.scaled(0.5f64.powi(squarings as i32));
         let mut sum = Matrix::identity(n);
         let mut term = Matrix::identity(n);
+        // One scratch matrix reused for every series term and squaring —
+        // the loop itself never allocates.
+        let mut scratch = Matrix::zeros(n);
         for k in 1..=40u32 {
-            term = term.mul(&x).scaled(1.0 / f64::from(k));
+            term.mul_into(&x, &mut scratch);
+            scratch.scale_in_place(1.0 / f64::from(k));
+            std::mem::swap(&mut term, &mut scratch);
             for (s, t) in sum.data.iter_mut().zip(&term.data) {
                 *s += t;
             }
@@ -200,7 +276,8 @@ impl Matrix {
             }
         }
         for _ in 0..squarings {
-            sum = sum.mul(&sum);
+            sum.mul_into(&sum, &mut scratch);
+            std::mem::swap(&mut sum, &mut scratch);
         }
         sum
     }
@@ -345,6 +422,77 @@ mod tests {
         for (x, y) in a.iter().zip(b) {
             assert!((x - y).abs() < tol, "{a:?} != {b:?}");
         }
+    }
+
+    /// Deterministic pseudo-random fill so GEMM tests cover dense,
+    /// sign-mixed matrices without a rand dependency.
+    fn lcg_fill(buf: &mut [f64], mut state: u64) {
+        for v in buf.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0;
+        }
+    }
+
+    #[test]
+    fn mul_into_matches_mul_bitwise() {
+        for n in [1, 2, 3, 5, 8, 13] {
+            let mut a = Matrix::zeros(n);
+            let mut b = Matrix::zeros(n);
+            lcg_fill(&mut a.data, 0x9e37 + n as u64);
+            lcg_fill(&mut b.data, 0x79b9 + n as u64);
+            // Sprinkle exact zeros to exercise the skip branch.
+            if n > 2 {
+                a.data[1] = 0.0;
+                a.data[n + 2] = 0.0;
+            }
+            let expected = a.mul(&b);
+            let mut out = Matrix::zeros(n);
+            a.mul_into(&b, &mut out);
+            assert_eq!(expected.data, out.data, "n={n}");
+            // Reuse the same output buffer: fill() must erase stale data.
+            a.mul_into(&b, &mut out);
+            assert_eq!(expected.data, out.data, "n={n} (reused out)");
+        }
+    }
+
+    #[test]
+    fn mul_cols_into_matches_mul_vec_into_per_column() {
+        // Includes widths straddling the 8-wide tile boundary.
+        for ncols in [1, 3, 7, 8, 9, 16, 21] {
+            let n = 6;
+            let mut a = Matrix::zeros(n);
+            lcg_fill(&mut a.data, 0x51f0 + ncols as u64);
+            let mut x = vec![0.0; n * ncols];
+            lcg_fill(&mut x, 0xc0de + ncols as u64);
+            let mut out = vec![1.0; n * ncols];
+            a.mul_cols_into(&x, &mut out, ncols);
+            let mut col = vec![0.0; n];
+            let mut expect = vec![0.0; n];
+            for j in 0..ncols {
+                for i in 0..n {
+                    col[i] = x[i * ncols + j];
+                }
+                a.mul_vec_into(&col, &mut expect);
+                for i in 0..n {
+                    assert_eq!(
+                        out[i * ncols + j].to_bits(),
+                        expect[i].to_bits(),
+                        "ncols={ncols} col={j} row={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_in_place_matches_scaled() {
+        let mut a = Matrix::zeros(4);
+        lcg_fill(&mut a.data, 0xabcd);
+        let expected = a.scaled(-0.3125);
+        a.scale_in_place(-0.3125);
+        assert_eq!(expected.data, a.data);
     }
 
     #[test]

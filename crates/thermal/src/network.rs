@@ -282,19 +282,20 @@ struct ExactCache {
 #[derive(Debug, Clone)]
 pub struct RcNetwork {
     names: Vec<String>,
-    capacitance: Vec<f64>,
+    /// Per-node heat capacitance (J/K); shared with [`crate::NetworkBatch`].
+    pub(crate) capacitance: Vec<f64>,
     /// CSR row pointers into `col_idx`/`edge_g` (length `n + 1`).
-    row_ptr: Vec<usize>,
+    pub(crate) row_ptr: Vec<usize>,
     /// CSR neighbour indices.
-    col_idx: Vec<usize>,
+    pub(crate) col_idx: Vec<usize>,
     /// CSR edge conductances (W/K), parallel to `col_idx`.
-    edge_g: Vec<f64>,
+    pub(crate) edge_g: Vec<f64>,
     /// Per-node total conductance `g_amb_i + Σ_j g_ij` (the Laplacian
     /// diagonal; also drives the Gershgorin stability bound).
-    diag_g: Vec<f64>,
+    pub(crate) diag_g: Vec<f64>,
     /// LU factorisation of the steady-state operator, computed at build.
-    lu: Lu,
-    ambient_conductance: Vec<f64>,
+    pub(crate) lu: Lu,
+    pub(crate) ambient_conductance: Vec<f64>,
     ambient: f64,
     temperature: Vec<f64>,
     power: Vec<f64>,
@@ -375,6 +376,12 @@ impl RcNetwork {
         self.power[n.0]
     }
 
+    /// All node powers (W), indexed by [`NodeId::index`] — the batch
+    /// loaders copy whole power vectors between dies with this.
+    pub fn powers(&self) -> &[f64] {
+        &self.power
+    }
+
     /// How many times the exact propagator has been (re)built — once per
     /// distinct step size seen by [`Stepper::Exact`]. Diagnostic for cache
     /// behaviour (tests, benches); mirrored onto the telemetry registry as
@@ -406,12 +413,11 @@ impl RcNetwork {
         }
     }
 
-    /// Rebuilds the exact propagator if the cached one was built for a
-    /// different step size (or does not exist yet).
-    fn ensure_exact_cache(&mut self, dt: f64) {
-        if self.exact.as_ref().is_some_and(|c| c.dt == dt) {
-            return;
-        }
+    /// Builds the exact propagator `E = exp(-C⁻¹A·dt)` for a step of `dt`
+    /// seconds. This is the single construction path shared by the scalar
+    /// exact stepper and [`crate::NetworkBatch`], so a batched die and an
+    /// independently stepped die apply bit-identical propagators.
+    pub(crate) fn propagator_matrix(&self, dt: f64) -> Matrix {
         let n = self.len();
         // M = -dt·C⁻¹A from the CSR graph: row i is scaled by dt/C_i.
         let mut m = Matrix::zeros(n);
@@ -422,9 +428,19 @@ impl RcNetwork {
                 m[(i, self.col_idx[k])] = self.edge_g[k] * scale;
             }
         }
+        m.expm()
+    }
+
+    /// Rebuilds the exact propagator if the cached one was built for a
+    /// different step size (or does not exist yet).
+    fn ensure_exact_cache(&mut self, dt: f64) {
+        if self.exact.as_ref().is_some_and(|c| c.dt == dt) {
+            return;
+        }
+        let n = self.len();
         self.exact = Some(ExactCache {
             dt,
-            propagator: m.expm(),
+            propagator: self.propagator_matrix(dt),
             t_ss: vec![0.0; n],
             rhs: vec![0.0; n],
         });

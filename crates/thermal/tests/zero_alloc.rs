@@ -11,7 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use thermorl_thermal::{DieModel, DieParams, Floorplan, Stepper};
+use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan, Stepper};
 
 struct CountingAlloc;
 
@@ -80,6 +80,50 @@ fn steady_state_stepping_does_not_allocate() {
         assert_eq!(
             n, 0,
             "{stepper}: stepping with changing powers must not allocate"
+        );
+    }
+
+    // The batched path must uphold the same guarantee (this stays inside
+    // the single #[test] so no concurrent test pollutes the counter).
+    for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+        let proto = DieModel::new(
+            Floorplan::quad(),
+            DieParams {
+                stepper,
+                ..DieParams::default()
+            },
+        );
+        let mut batch = DieBatch::new(&proto, 64);
+        for die in 0..batch.width() {
+            for c in 0..4 {
+                batch.set_core_power(die, c, 10.0);
+            }
+        }
+        // Warm-up builds the shared propagator and refreshes every
+        // steady-state column; after that the batch path owns all its
+        // scratch.
+        batch.advance(1.0);
+
+        let n = allocs_during(|| {
+            for _ in 0..100 {
+                batch.advance(1.0);
+            }
+        });
+        assert_eq!(n, 0, "{stepper}: steady batch stepping must not allocate");
+
+        // Per-die power churn between ticks: each touched column is
+        // refreshed against the shared LU, still allocation-free.
+        let n = allocs_during(|| {
+            for i in 0..100u64 {
+                for die in 0..batch.width() {
+                    batch.set_core_power(die, (i % 4) as usize, 5.0 + (i % 7) as f64);
+                }
+                batch.advance(1.0);
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "{stepper}: batch stepping with changing powers must not allocate"
         );
     }
 }
