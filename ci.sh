@@ -73,7 +73,7 @@ pkill -9 -f "serve run --addr 127.0.0.1:0 --addr-file $SERVE_DIR/addr " \
 wait "$SERVE_PID" 2>/dev/null || true
 timeout 300 cargo run --release -q -p thermorl-bench --bin serve -- \
     run --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/addr2" \
-    --store "$SERVE_DIR/snapshots.jsonl" --quiet &
+    --store "$SERVE_DIR/snapshots.jsonl" --trace --quiet &
 SERVE_PID=$!
 for _ in $(seq 100); do [ -s "$SERVE_DIR/addr2" ] && break; sleep 0.1; done
 [ -s "$SERVE_DIR/addr2" ] || { echo "restarted supervisor never bound"; exit 1; }
@@ -86,8 +86,62 @@ grep -q '"resumed_dies":8' "$SERVE_DIR/bench_after_restart.json" \
 echo "== serve bench --quick (regenerate BENCH_serve.json) =="
 timeout 120 cargo run --release -q -p thermorl-bench --bin serve -- \
     bench --addr-file "$SERVE_DIR/addr2" --quick --out BENCH_serve.json > /dev/null
+grep -q '"slowest_trace":"' BENCH_serve.json \
+    || { echo "BENCH_serve.json missing the slowest-request trace id"; exit 1; }
+
+echo "== serve trace verb (live SLO + slowest-trace table) =="
+# The restarted supervisor runs with --trace, so its trace report must
+# carry a populated SLO summary and per-trace rows for the load above.
+timeout 60 cargo run --release -q -p thermorl-bench --bin serve -- \
+    trace --addr-file "$SERVE_DIR/addr2" --max 8 > "$SERVE_DIR/trace_report.json"
+python3 - "$SERVE_DIR/trace_report.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("slo", "slowest", "recent"):
+    assert key in doc, f"trace report missing {key}: {sorted(doc)}"
+slo = doc["slo"]
+for key in ("count", "p50_ns", "p99_ns", "objective_ns", "target",
+            "over_objective", "error_rate", "budget_burn"):
+    assert key in slo, f"slo summary missing {key}: {sorted(slo)}"
+assert slo["count"] > 0, "SLO tracker counted no serve.request latencies"
+assert doc["slowest"], "no slowest-trace rows"
+for row in doc["slowest"]:
+    for key in ("trace_id", "root", "start_us", "dur_us", "spans"):
+        assert key in row, f"trace row missing {key}: {sorted(row)}"
+    int(row["trace_id"], 16)
+print(f"trace report OK: slo.count={slo['count']}, "
+      f"{len(doc['slowest'])} slowest rows")
+EOF
 timeout 60 cargo run --release -q -p thermorl-bench --bin serve -- \
     shutdown --addr-file "$SERVE_DIR/addr2"
 wait "$SERVE_PID"
+
+echo "== trace selftest (client -> serve -> shard -> batch chain + Chrome schema) =="
+# In-process supervisor + loopback load with tracing on: exits nonzero
+# unless at least one trace spans the whole distributed chain, then the
+# exported Chrome trace must satisfy the trace-event schema Perfetto and
+# chrome://tracing expect.
+timeout 300 cargo run --release -q -p thermorl-bench --bin serve -- \
+    selftest-trace --out "$SERVE_DIR/chrome_trace.json"
+python3 - "$SERVE_DIR/chrome_trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents missing or empty"
+assert doc.get("displayTimeUnit") == "ms", doc.get("displayTimeUnit")
+complete = 0
+for e in events:
+    for key in ("name", "ph", "ts", "pid", "tid"):
+        assert key in e, f"event missing {key}: {e}"
+    if e["ph"] == "X":
+        assert e.get("dur", 0) >= 1, f"complete event without dur: {e}"
+        complete += 1
+assert complete > 0, "no complete (ph=X) span events"
+names = {e["name"] for e in events}
+for span in ("client.observe", "serve.request", "shard.observe",
+             "thermal.batch_step"):
+    assert span in names, f"chrome trace missing {span} spans"
+print(f"chrome trace OK: {len(events)} events, {complete} complete spans")
+EOF
 
 echo "CI OK"

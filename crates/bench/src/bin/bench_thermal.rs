@@ -16,8 +16,11 @@
 //!   headline `die_advance_1s` number stays telemetry-free.
 //!
 //! The output also carries a `telemetry_disabled_overhead` object: the
-//! per-call cost of `counter!`/`span!`/`event!` while recording is off —
-//! one relaxed atomic load and a branch, expected well under 1 ns/op.
+//! per-call cost of `counter!`/`span!`/`event!`/`trace_span!` while
+//! recording is off — one relaxed atomic load and a branch, expected
+//! well under 1 ns/op — plus a `tracing_overhead` object with the
+//! enabled-path cost of a traced span (`--gate` also bounds the
+//! tracing-disabled `trace_span_ns` at 3x the committed number).
 //!
 //! Timing is manual `Instant`-based sampling (criterion is a
 //! dev-dependency and unavailable to bins): each measurement takes the
@@ -183,7 +186,7 @@ fn measure_parallel_fleet(batches: usize, width: usize, iters: u32, reps: u32) -
 /// Per-call cost of the telemetry macros while recording is off, in
 /// ns/op. Must run before anything enables recording: the whole point is
 /// the price every instrumented call site pays when telemetry is idle.
-fn measure_disabled_overhead() -> (f64, f64, f64) {
+fn measure_disabled_overhead() -> (f64, f64, f64, f64) {
     assert!(
         !tel::enabled(),
         "disabled-overhead must be measured before telemetry is enabled"
@@ -210,7 +213,33 @@ fn measure_disabled_overhead() -> (f64, f64, f64) {
         iters,
         reps,
     );
-    (counter_ns, span_ns, event_ns)
+    let trace_span_ns = median_ns_per_iter(
+        || {
+            let _g = tel::trace_span!("bench.disabled.trace");
+        },
+        iters,
+        reps,
+    );
+    (counter_ns, span_ns, event_ns, trace_span_ns)
+}
+
+/// Per-call cost of a traced span while telemetry *and* tracing are both
+/// on: allocate ids, time the scope, and push the record into the
+/// per-thread trace ring. Recording is switched off again before
+/// returning so later measurements stay clean.
+fn measure_tracing_overhead() -> f64 {
+    tel::set_enabled(true);
+    tel::set_trace_enabled(true);
+    let ns = median_ns_per_iter(
+        || {
+            let _g = tel::trace_span!("bench.tracing.span");
+        },
+        200_000,
+        5,
+    );
+    tel::set_trace_enabled(false);
+    tel::set_enabled(false);
+    ns
 }
 
 /// End-to-end scenario throughput with the default config: simulated
@@ -255,23 +284,29 @@ fn main() {
     }
     let (iters, reps) = if quick { (2_000, 3) } else { (20_000, 7) };
 
-    // Read the committed number before we overwrite the file: the gate
+    // Read the committed numbers before we overwrite the file: the gate
     // compares fresh measurements against what the repo last recorded.
-    let gate_baseline: Option<f64> = if gate {
-        let committed = std::fs::read_to_string(&out_path)
+    let committed_doc: Option<Value> = if gate {
+        std::fs::read_to_string(&out_path)
             .ok()
             .and_then(|text| Value::parse(&text).ok())
-            .and_then(|doc| doc.get("die_advance_1s_ns").and_then(Value::as_f64));
-        if committed.is_none() {
-            eprintln!(
-                "bench_thermal: --gate requested but no committed die_advance_1s_ns \
-                 in {out_path}; gate skipped (first run?)"
-            );
-        }
-        committed
     } else {
         None
     };
+    let gate_baseline: Option<f64> = committed_doc
+        .as_ref()
+        .and_then(|doc| doc.get("die_advance_1s_ns").and_then(Value::as_f64));
+    let gate_trace_baseline: Option<f64> = committed_doc.as_ref().and_then(|doc| {
+        doc.get("telemetry_disabled_overhead")
+            .and_then(|o| o.get("trace_span_ns"))
+            .and_then(Value::as_f64)
+    });
+    if gate && gate_baseline.is_none() {
+        eprintln!(
+            "bench_thermal: --gate requested but no committed die_advance_1s_ns \
+             in {out_path}; gate skipped (first run?)"
+        );
+    }
 
     let mut doc = Value::object();
     doc.set("bench", Value::Str("bench_thermal".into()));
@@ -378,16 +413,42 @@ fn main() {
     batch_doc.set("parallel_fleet", par);
     doc.set("batch", batch_doc);
 
-    let (counter_ns, span_ns, event_ns) = measure_disabled_overhead();
+    let (counter_ns, span_ns, event_ns, trace_span_ns) = measure_disabled_overhead();
     println!(
         "telemetry disabled overhead: counter {counter_ns:.2} ns/op, \
-         span {span_ns:.2} ns/op, event {event_ns:.2} ns/op"
+         span {span_ns:.2} ns/op, event {event_ns:.2} ns/op, \
+         trace_span {trace_span_ns:.2} ns/op"
     );
     let mut overhead = Value::object();
     overhead.set("counter_ns", Value::num(counter_ns));
     overhead.set("span_ns", Value::num(span_ns));
     overhead.set("event_ns", Value::num(event_ns));
+    overhead.set("trace_span_ns", Value::num(trace_span_ns));
     doc.set("telemetry_disabled_overhead", overhead);
+
+    if let Some(committed) = gate_trace_baseline {
+        let ratio = trace_span_ns / committed;
+        if ratio > 3.0 {
+            eprintln!(
+                "bench_thermal: GATE FAILED: tracing-disabled trace_span \
+                 {trace_span_ns:.2} ns/op is {ratio:.2}x the committed {committed:.2} ns/op \
+                 (limit 3x); {out_path} left untouched"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate: disabled trace_span {trace_span_ns:.2} ns/op vs committed \
+             {committed:.2} ns/op ({ratio:.2}x, limit 3x)"
+        );
+    }
+
+    // The enabled-path cost: what each span actually pays when a trace is
+    // being recorded (ids + clock reads + ring push).
+    let trace_enabled_ns = measure_tracing_overhead();
+    println!("tracing enabled overhead: trace_span {trace_enabled_ns:.2} ns/op");
+    let mut tracing = Value::object();
+    tracing.set("trace_span_enabled_ns", Value::num(trace_enabled_ns));
+    doc.set("tracing_overhead", tracing);
 
     // Recording (when requested) starts only now: every timing above is
     // measured with telemetry off.

@@ -194,6 +194,52 @@ fn telemetry_export_meets_acceptance_criteria() {
         "prometheus export missing thermal_batch_width gauge:\n{prom}"
     );
 
+    // Ring health: the export always carries the dropped-event counter
+    // and per-shard ring occupancy, in JSON...
+    let dropped = doc.get("events_dropped").and_then(Value::as_u64);
+    assert!(
+        dropped.is_some(),
+        "snapshot JSON missing events_dropped counter"
+    );
+    let shards = doc
+        .get("shards")
+        .and_then(Value::as_array)
+        .expect("per-shard ring occupancy array");
+    assert!(!shards.is_empty(), "no telemetry shards reported");
+    for shard in shards {
+        let cap = shard
+            .get("events_capacity")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        assert!(cap > 0, "shard reports zero event-ring capacity");
+        let occupancy = shard.get("events").and_then(Value::as_u64).unwrap_or(0);
+        assert!(
+            occupancy <= cap,
+            "shard ring occupancy {occupancy} exceeds capacity {cap}"
+        );
+        assert!(
+            shard
+                .get("trace_capacity")
+                .and_then(Value::as_u64)
+                .is_some(),
+            "shard missing trace-ring capacity"
+        );
+    }
+
+    // ...and in the Prometheus rendering.
+    assert!(
+        prom.contains("# TYPE telemetry_events_dropped counter"),
+        "prometheus export missing telemetry_events_dropped"
+    );
+    assert!(
+        prom.contains("telemetry_ring_events{shard=\"0\"}"),
+        "prometheus export missing per-shard ring occupancy:\n{prom}"
+    );
+    assert!(
+        prom.contains("telemetry_ring_events_capacity{shard=\"0\"}"),
+        "prometheus export missing per-shard ring capacity"
+    );
+
     // (c) both detector verdicts as structured events.
     let events = doc.get("events").and_then(Value::as_array).expect("events");
     let detect = |detail: &str| {

@@ -574,8 +574,16 @@ fn handle_connection(
                 tel::event!("dispatch.hello", "{worker}");
                 write_message(&mut writer, &welcome)?;
             }
-            Message::LeaseRequest { worker, max_jobs } => {
-                let _g = tel::span!("dispatch.lease_request");
+            Message::LeaseRequest {
+                worker,
+                max_jobs,
+                trace,
+            } => {
+                let parent = trace
+                    .as_deref()
+                    .and_then(tel::SpanContext::parse_traceparent);
+                let _req = tel::TraceSpan::with_parent("dispatch.request", parent);
+                let _g = tel::trace_span!("dispatch.lease_request");
                 let reply = {
                     let mut state = lock_state(state);
                     let now = Instant::now();
@@ -602,8 +610,13 @@ fn handle_connection(
                 worker,
                 lease_id,
                 line,
+                trace,
             } => {
-                let _g = tel::span!("dispatch.ingest");
+                let parent = trace
+                    .as_deref()
+                    .and_then(tel::SpanContext::parse_traceparent);
+                let _req = tel::TraceSpan::with_parent("dispatch.request", parent);
+                let _g = tel::trace_span!("dispatch.ingest");
                 let mut state = lock_state(state);
                 state.ingest_result(lease_id, &line, Instant::now())?;
                 let _ = worker;
@@ -611,6 +624,15 @@ fn handle_connection(
             Message::Status => {
                 let report = lock_state(state).status();
                 write_message(&mut writer, &Message::StatusReport(report))?;
+            }
+            Message::Trace { max } => {
+                let report = crate::proto::build_trace_report(
+                    &tel::snapshot(),
+                    "dispatch.request",
+                    &tel::SloConfig::default(),
+                    max.min(256) as usize,
+                );
+                write_message(&mut writer, &Message::TraceReport(report))?;
             }
             Message::Drain => {
                 let report = {

@@ -47,7 +47,7 @@ use thermorl_runner::{Campaign, JobSource};
 use thermorl_telemetry as tel;
 
 pub use coordinator::{Coordinator, CoordinatorConfig};
-pub use proto::{Lease, Message, StatusReport, PROTOCOL_VERSION};
+pub use proto::{Lease, Message, StatusReport, TraceReport, PROTOCOL_VERSION};
 pub use store::CheckpointStore;
 pub use worker::{run_worker, WorkerConfig, WorkerSummary};
 
@@ -100,6 +100,26 @@ pub fn control(addr: &str, message: &Message) -> Result<StatusReport, String> {
         Some(Message::StatusReport(report)) => Ok(report),
         Some(Message::Error { message }) => Err(format!("coordinator: {message}")),
         Some(other) => Err(format!("expected status_report, got {other:?}")),
+        None => Err("coordinator closed the connection".into()),
+    }
+}
+
+/// Asks the coordinator for its live tracing surface: sampled traces and
+/// the `dispatch.request` SLO.
+///
+/// # Errors
+///
+/// Fails when the coordinator is unreachable or replies with anything
+/// but a trace report.
+pub fn control_trace(addr: &str, max: u64) -> Result<TraceReport, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    proto::write_message(&mut writer, &Message::Trace { max }).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    match proto::read_message(&mut reader).map_err(|e| e.to_string())? {
+        Some(Message::TraceReport(report)) => Ok(report),
+        Some(Message::Error { message }) => Err(format!("coordinator: {message}")),
+        Some(other) => Err(format!("expected trace_report, got {other:?}")),
         None => Err("coordinator closed the connection".into()),
     }
 }
@@ -160,13 +180,18 @@ fn write_telemetry(path: &PathBuf, baseline: &tel::Snapshot, progress: bool) -> 
 ///   `--lease-ms N`, `--heartbeat-ms N`, `--max-retries N`,
 ///   `--linger-ms N` (post-resolution grace for worker `done` replies),
 ///   `--filter PREFIX` (serve only matching keys), `--telemetry [PATH]`,
-///   `--auth-token SECRET` (reject workers without the secret),
-///   `--quiet`. Exits `0` only when every served job completed.
+///   `--trace` (record distributed traces; enables the `trace`
+///   subcommand), `--auth-token SECRET` (reject workers without the
+///   secret), `--quiet`. Exits `0` only when every served job completed.
 /// * `work` — run jobs: `--coordinator HOST:PORT` or
 ///   `--coordinator-file PATH`, `--workers N`, `--timeout-s N`,
 ///   `--name ID`, `--auth-token SECRET`, `--quiet`.
 /// * `status` / `drain` — print the coordinator's status report as one
 ///   JSON line (`drain` also stops new lease grants).
+/// * `trace` — print the coordinator's trace report (request-span SLO +
+///   slowest/recent trace table) as one JSON line: `--coordinator` /
+///   `--coordinator-file` as above, `--max N` rows (default 16). Needs
+///   the coordinator running with `--trace`.
 ///
 /// Returns the process exit code, or a usage error message.
 ///
@@ -180,7 +205,7 @@ pub fn dispatch_command<T: Send + 'static>(
     default_store: &str,
 ) -> Result<i32, String> {
     let Some(subcommand) = args.first() else {
-        return Err("dispatch needs a subcommand: serve | work | status | drain".into());
+        return Err("dispatch needs a subcommand: serve | work | status | drain | trace".into());
     };
     let rest = &args[1..];
     match subcommand.as_str() {
@@ -188,8 +213,10 @@ pub fn dispatch_command<T: Send + 'static>(
         "work" => work_command(rest, &campaign),
         "status" => control_command(rest, &Message::Status),
         "drain" => control_command(rest, &Message::Drain),
+        "trace" => trace_command(rest),
         other => Err(format!(
-            "unknown dispatch subcommand {other:?} (expected serve | work | status | drain)"
+            "unknown dispatch subcommand {other:?} \
+             (expected serve | work | status | drain | trace)"
         )),
     }
 }
@@ -211,6 +238,7 @@ fn serve_command<T: Send + 'static>(
     };
     let mut filter: Option<String> = None;
     let mut telemetry: Option<PathBuf> = None;
+    let mut trace = false;
     let mut args = args.iter().cloned().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -241,12 +269,16 @@ fn serve_command<T: Send + 'static>(
             "--auth-token" => {
                 config.auth_token = Some(args.next().ok_or("--auth-token needs a value")?);
             }
+            "--trace" => trace = true,
             "--quiet" => config.progress = false,
             other => return Err(format!("unknown dispatch serve flag {other:?}")),
         }
     }
-    if telemetry.is_some() {
+    if telemetry.is_some() || trace {
         tel::set_enabled(true);
+    }
+    if trace {
+        tel::set_trace_enabled(true);
     }
     let baseline = tel::snapshot();
     let progress = config.progress;
@@ -333,6 +365,29 @@ fn control_command(args: &[String], message: &Message) -> Result<i32, String> {
     }
     let addr = resolve_addr(&addr, &addr_file)?;
     let report = control(&addr, message)?;
+    println!("{}", report.to_json());
+    Ok(0)
+}
+
+fn trace_command(args: &[String]) -> Result<i32, String> {
+    let mut addr = CoordinatorConfig::default().addr;
+    let mut addr_file: Option<PathBuf> = None;
+    let mut max = 16u64;
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--coordinator" => addr = args.next().ok_or("--coordinator needs a value")?,
+            "--coordinator-file" => {
+                addr_file = Some(PathBuf::from(
+                    args.next().ok_or("--coordinator-file needs a path")?,
+                ));
+            }
+            "--max" => max = parse_u64("--max", args.next())?,
+            other => return Err(format!("unknown dispatch trace flag {other:?}")),
+        }
+    }
+    let addr = resolve_addr(&addr, &addr_file)?;
+    let report = control_trace(&addr, max)?;
     println!("{}", report.to_json());
     Ok(0)
 }

@@ -18,6 +18,7 @@
 use std::io::{self, BufRead, Write};
 
 use thermorl_sim::json::Value;
+use thermorl_telemetry::{slo_summary, summarize_traces, SloConfig, SloSummary, TraceSummary};
 
 /// Protocol version sent in `hello`; the coordinator rejects mismatches
 /// so a stale worker binary fails loudly instead of mis-running jobs.
@@ -108,6 +109,172 @@ pub fn f64_arr_field(v: &Value, tag: &str, name: &str) -> Result<Vec<f64>, Strin
         .collect()
 }
 
+/// Required 16-hex-digit id field of a parsed message object. Trace and
+/// span ids travel as hex strings (not JSON numbers) so they survive
+/// readers that coerce every number through an `f64`.
+///
+/// # Errors
+///
+/// Fails when the field is missing, not a string, or not valid hex.
+pub fn hex_id_field(v: &Value, tag: &str, name: &str) -> Result<u64, String> {
+    let s = str_field(v, tag, name)?;
+    u64::from_str_radix(&s, 16).map_err(|_| format!("{tag} message has a bad hex id in {name:?}"))
+}
+
+/// Renders an SLO summary as a JSON object — the shared shape of the
+/// serve and dispatch `stats`/`trace` replies.
+pub fn slo_to_value(slo: &SloSummary) -> Value {
+    let mut v = Value::object();
+    v.set("count", Value::UInt(slo.count))
+        .set("p50_ns", Value::UInt(slo.p50_ns))
+        .set("p99_ns", Value::UInt(slo.p99_ns))
+        .set("objective_ns", Value::UInt(slo.objective_ns))
+        .set("target", Value::num(slo.target))
+        .set("over_objective", Value::UInt(slo.over_objective))
+        .set("error_rate", Value::num(slo.error_rate))
+        .set("budget_burn", Value::num(slo.budget_burn));
+    v
+}
+
+/// Parses an SLO summary object back ([`slo_to_value`]'s inverse).
+///
+/// # Errors
+///
+/// Fails when any field is missing or mistyped.
+pub fn slo_from_value(v: &Value, tag: &str) -> Result<SloSummary, String> {
+    Ok(SloSummary {
+        count: u64_field(v, tag, "count")?,
+        p50_ns: u64_field(v, tag, "p50_ns")?,
+        p99_ns: u64_field(v, tag, "p99_ns")?,
+        objective_ns: u64_field(v, tag, "objective_ns")?,
+        target: f64_field(v, tag, "target")?,
+        over_objective: u64_field(v, tag, "over_objective")?,
+        error_rate: f64_field(v, tag, "error_rate")?,
+        budget_burn: f64_field(v, tag, "budget_burn")?,
+    })
+}
+
+/// Renders one trace-summary table row as a JSON object (trace id as a
+/// 16-hex string).
+pub fn trace_summary_to_value(t: &TraceSummary) -> Value {
+    let mut v = Value::object();
+    v.set("trace_id", Value::Str(format!("{:016x}", t.trace_id)))
+        .set("root", Value::Str(t.root_name.clone()))
+        .set("start_us", Value::UInt(t.start_us))
+        .set("dur_us", Value::UInt(t.dur_us))
+        .set("spans", Value::UInt(t.spans))
+        .set("orphans", Value::UInt(t.orphans));
+    v
+}
+
+/// Parses a trace-summary row back ([`trace_summary_to_value`]'s
+/// inverse).
+///
+/// # Errors
+///
+/// Fails when any field is missing or mistyped.
+pub fn trace_summary_from_value(v: &Value, tag: &str) -> Result<TraceSummary, String> {
+    Ok(TraceSummary {
+        trace_id: hex_id_field(v, tag, "trace_id")?,
+        root_name: str_field(v, tag, "root")?,
+        start_us: u64_field(v, tag, "start_us")?,
+        dur_us: u64_field(v, tag, "dur_us")?,
+        spans: u64_field(v, tag, "spans")?,
+        orphans: u64_field(v, tag, "orphans")?,
+    })
+}
+
+/// The live tracing surface a `trace` request returns: the SLO state of
+/// the server's request span plus summaries of the slowest and the most
+/// recent captured traces. One shape shared by the dispatch coordinator
+/// and the serve supervisor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceReport {
+    /// SLO state of the server's request-handling span histogram.
+    pub slo: SloSummary,
+    /// Slowest captured traces, longest first.
+    pub slowest: Vec<TraceSummary>,
+    /// Most recent captured traces, oldest first.
+    pub recent: Vec<TraceSummary>,
+}
+
+impl TraceReport {
+    /// Renders the report body (no `"type"` tag) as a JSON object.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object();
+        v.set("slo", slo_to_value(&self.slo))
+            .set(
+                "slowest",
+                Value::Arr(self.slowest.iter().map(trace_summary_to_value).collect()),
+            )
+            .set(
+                "recent",
+                Value::Arr(self.recent.iter().map(trace_summary_to_value).collect()),
+            );
+        v
+    }
+
+    /// Parses a report body back ([`TraceReport::to_value`]'s inverse).
+    ///
+    /// # Errors
+    ///
+    /// Fails when any field is missing or mistyped.
+    pub fn from_value(v: &Value, tag: &str) -> Result<TraceReport, String> {
+        let rows = |name: &str| -> Result<Vec<TraceSummary>, String> {
+            v.get(name)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{tag} message missing {name:?}"))?
+                .iter()
+                .map(|row| trace_summary_from_value(row, tag))
+                .collect()
+        };
+        Ok(TraceReport {
+            slo: slo_from_value(
+                v.get("slo")
+                    .ok_or_else(|| format!("{tag} message missing \"slo\""))?,
+                tag,
+            )?,
+            slowest: rows("slowest")?,
+            recent: rows("recent")?,
+        })
+    }
+
+    /// The report as one JSON line for the `trace` subcommands.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// Builds the `trace` reply from a telemetry snapshot: SLO over the
+/// named request span's histogram, plus the `max` slowest and `max` most
+/// recent captured traces.
+pub fn build_trace_report(
+    snap: &thermorl_telemetry::Snapshot,
+    span_name: &str,
+    cfg: &SloConfig,
+    max: usize,
+) -> TraceReport {
+    let slo = snap
+        .spans
+        .get(span_name)
+        .map(|s| slo_summary(&s.hist, cfg))
+        .unwrap_or_else(|| SloSummary {
+            objective_ns: cfg.objective_ns,
+            target: cfg.target,
+            ..SloSummary::default()
+        });
+    let rows = summarize_traces(&snap.trace_spans);
+    let mut slowest = rows.clone();
+    slowest.sort_by_key(|t| (std::cmp::Reverse(t.dur_us), std::cmp::Reverse(t.trace_id)));
+    slowest.truncate(max);
+    let recent = rows[rows.len().saturating_sub(max)..].to_vec();
+    TraceReport {
+        slo,
+        slowest,
+        recent,
+    }
+}
+
 /// One leased job: the coordinator's promise that `key` is this worker's
 /// to run until `deadline_ms` elapses without a heartbeat.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,6 +329,9 @@ pub enum Message {
         worker: String,
         /// Upper bound on leases to grant (the worker's free slots).
         max_jobs: u64,
+        /// Optional W3C-style `traceparent` — the coordinator's handling
+        /// span joins the sender's trace when present.
+        trace: Option<String>,
     },
     /// Worker → coordinator: extend the deadlines of in-flight leases.
     /// Fire-and-forget.
@@ -179,9 +349,18 @@ pub enum Message {
         lease_id: u64,
         /// The verbatim checkpoint line for the finished job.
         line: String,
+        /// Optional W3C-style `traceparent` of the job's (deterministic,
+        /// seed-derived) trace — ingest joins the job's trace.
+        trace: Option<String>,
     },
     /// Control client → coordinator: report campaign state.
     Status,
+    /// Control client → coordinator: report sampled traces and the
+    /// request-span SLO.
+    Trace {
+        /// Upper bound on slowest/recent rows returned.
+        max: u64,
+    },
     /// Control client → coordinator: stop granting leases; exit once
     /// in-flight leases resolve or expire.
     Drain,
@@ -217,6 +396,8 @@ pub enum Message {
     Done,
     /// Coordinator → control client: campaign state.
     StatusReport(StatusReport),
+    /// Coordinator → control client: sampled traces and request SLO.
+    TraceReport(TraceReport),
     /// Coordinator → peer: protocol error (connection closes after).
     Error {
         /// What went wrong.
@@ -241,10 +422,17 @@ impl Message {
                     obj.set("token", Value::Str(token.clone()));
                 }
             }
-            Message::LeaseRequest { worker, max_jobs } => {
+            Message::LeaseRequest {
+                worker,
+                max_jobs,
+                trace,
+            } => {
                 obj.set("type", Value::Str("lease_request".into()));
                 obj.set("worker", Value::Str(worker.clone()));
                 obj.set("max_jobs", Value::UInt(*max_jobs));
+                if let Some(trace) = trace {
+                    obj.set("trace", Value::Str(trace.clone()));
+                }
             }
             Message::Heartbeat { worker, lease_ids } => {
                 obj.set("type", Value::Str("heartbeat".into()));
@@ -258,14 +446,22 @@ impl Message {
                 worker,
                 lease_id,
                 line,
+                trace,
             } => {
                 obj.set("type", Value::Str("result".into()));
                 obj.set("worker", Value::Str(worker.clone()));
                 obj.set("lease_id", Value::UInt(*lease_id));
                 obj.set("line", Value::Str(line.clone()));
+                if let Some(trace) = trace {
+                    obj.set("trace", Value::Str(trace.clone()));
+                }
             }
             Message::Status => {
                 obj.set("type", Value::Str("status".into()));
+            }
+            Message::Trace { max } => {
+                obj.set("type", Value::Str("trace".into()));
+                obj.set("max", Value::UInt(*max));
             }
             Message::Drain => {
                 obj.set("type", Value::Str("drain".into()));
@@ -318,6 +514,10 @@ impl Message {
                 obj.set("leased", Value::UInt(report.leased));
                 obj.set("draining", Value::Bool(report.draining));
             }
+            Message::TraceReport(report) => {
+                obj = report.to_value();
+                obj.set("type", Value::Str("trace_report".into()));
+            }
             Message::Error { message } => {
                 obj.set("type", Value::Str("error".into()));
                 obj.set("message", Value::Str(message.clone()));
@@ -349,6 +549,7 @@ impl Message {
             "lease_request" => Ok(Message::LeaseRequest {
                 worker: str_field("worker")?,
                 max_jobs: u64_field("max_jobs")?,
+                trace: opt_str_field(&v, "trace"),
             }),
             "heartbeat" => {
                 let lease_ids = v
@@ -367,8 +568,12 @@ impl Message {
                 worker: str_field("worker")?,
                 lease_id: u64_field("lease_id")?,
                 line: str_field("line")?,
+                trace: opt_str_field(&v, "trace"),
             }),
             "status" => Ok(Message::Status),
+            "trace" => Ok(Message::Trace {
+                max: u64_field("max")?,
+            }),
             "drain" => Ok(Message::Drain),
             "goodbye" => Ok(Message::Goodbye {
                 worker: str_field("worker")?,
@@ -422,6 +627,7 @@ impl Message {
                 leased: u64_field("leased")?,
                 draining: bool_field(&v, tag, "draining")?,
             })),
+            "trace_report" => Ok(Message::TraceReport(TraceReport::from_value(&v, tag)?)),
             "error" => Ok(Message::Error {
                 message: str_field("message")?,
             }),
@@ -497,6 +703,12 @@ mod tests {
             Message::LeaseRequest {
                 worker: "w1".into(),
                 max_jobs: 4,
+                trace: None,
+            },
+            Message::LeaseRequest {
+                worker: "w1".into(),
+                max_jobs: 4,
+                trace: Some("00-0000000000000000deadbeefcafef00d-0123456789abcdef-01".into()),
             },
             Message::Heartbeat {
                 worker: "w1".into(),
@@ -506,8 +718,31 @@ mod tests {
                 worker: "w1".into(),
                 lease_id: 9,
                 line: "{\"key\":\"a/b\",\"seed\":1,\"status\":\"ok\",\"payload\":7}".into(),
+                trace: Some("00-0000000000000000deadbeefcafef00d-0123456789abcdef-01".into()),
             },
             Message::Status,
+            Message::Trace { max: 16 },
+            Message::TraceReport(TraceReport {
+                slo: SloSummary {
+                    count: 100,
+                    p50_ns: 4096,
+                    p99_ns: 65_536,
+                    objective_ns: 1_000_000,
+                    target: 0.99,
+                    over_objective: 1,
+                    error_rate: 0.01,
+                    budget_burn: 1.0,
+                },
+                slowest: vec![TraceSummary {
+                    trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                    root_name: "dispatch.request".into(),
+                    start_us: 17,
+                    dur_us: 912,
+                    spans: 3,
+                    orphans: 0,
+                }],
+                recent: vec![],
+            }),
             Message::Drain,
             Message::Goodbye {
                 worker: "w1".into(),
@@ -557,6 +792,7 @@ mod tests {
             worker: "w".into(),
             lease_id: 1,
             line: inner.into(),
+            trace: None,
         };
         let back = Message::parse(&message.to_line()).expect("parse");
         assert_eq!(back, message);

@@ -300,6 +300,7 @@ fn session_loop<T: Send + 'static>(
         try_send!(&Message::LeaseRequest {
             worker: config.name.clone(),
             max_jobs: config.workers.max(1) as u64,
+            trace: None,
         });
         let leases = match next(reader) {
             Ok(Message::Grant { leases }) => leases,
@@ -346,10 +347,21 @@ fn session_loop<T: Send + 'static>(
                 return;
             }
             let line = record_line(record, codec);
+            // The job's trace id is derived from its seed (the runner
+            // roots the same id around execution), so the coordinator's
+            // ingest span joins the job's trace deterministically — the
+            // root span context of a seeded trace is (trace_id, trace_id).
+            let trace_id = tel::trace_id_from_seed(record.seed);
+            let trace = tel::SpanContext {
+                trace_id,
+                span_id: trace_id,
+            }
+            .to_traceparent();
             if let Err(end) = send(&Message::Result {
                 worker: config.name.clone(),
                 lease_id: lease_of(&record.key),
                 line,
+                trace: Some(trace),
             }) {
                 lost = Some(end);
                 return;

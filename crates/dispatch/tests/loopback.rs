@@ -84,6 +84,7 @@ fn killer_takes_a_lease(addr: &str) -> String {
         &Message::LeaseRequest {
             worker: "killer".into(),
             max_jobs: 1,
+            trace: None,
         },
     )
     .expect("lease request");

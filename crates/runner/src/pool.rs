@@ -191,6 +191,12 @@ pub fn run_jobs<T: Send + 'static>(
                 let next = queues.lock().expect("queue lock").pop(worker);
                 let Some((index, job)) = next else { break };
                 let seed = seeds[index];
+                // Root the job's trace on its seed-derived id: the same
+                // id a remote coordinator computes from the lease seed,
+                // so a dispatched job's execution and its result ingest
+                // land in one trace without any id exchange.
+                let _trace =
+                    tel::TraceSpan::root_with_trace_id("runner.job", tel::trace_id_from_seed(seed));
                 let mut attempts = 0;
                 let mut outcome;
                 let mut metrics;

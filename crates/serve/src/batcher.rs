@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::sync::mpsc::Sender;
 
+use thermorl_telemetry::TraceSpan;
 use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan};
 
 use crate::proto::Message;
@@ -31,6 +32,9 @@ pub(crate) struct PendingObserve {
     pub seq: u64,
     /// The per-core watts payload (already applied to the model).
     pub values: Vec<f64>,
+    /// The observe's open `shard.observe` span; closes after the ack.
+    /// Its context parents/links the batch step's span.
+    pub span: Option<TraceSpan>,
     /// Where the `Ack` goes once the batch flushes.
     pub reply: Sender<Message>,
 }
@@ -180,6 +184,7 @@ mod tests {
                     die,
                     seq,
                     values: vals,
+                    span: None,
                     reply: tx.clone(),
                 });
             }
@@ -233,6 +238,7 @@ mod tests {
                 die: "solo".into(),
                 seq,
                 values: vals.clone(),
+                span: None,
                 reply: tx.clone(),
             }];
             batcher.advance(&pending, &mut sessions);

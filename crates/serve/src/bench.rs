@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use thermorl_dispatch::proto::{read_message, write_message};
 use thermorl_sim::json::Value;
+use thermorl_telemetry as tel;
 use thermorl_telemetry::Histogram;
 
 use crate::proto::{Message, SERVE_PROTOCOL_VERSION};
@@ -84,6 +85,13 @@ pub struct BenchReport {
     pub decisions_per_sec: f64,
     /// Dies whose sessions resumed from a server-side snapshot.
     pub resumed_dies: u64,
+    /// Round-trip latency of the slowest observe, microseconds.
+    pub slowest_us: u64,
+    /// Trace id of the slowest observe (its request ids are derived
+    /// deterministically from `(die, seq)`, so the id can be looked up
+    /// in a server-side `trace` reply or a Chrome trace dump). Zero when
+    /// nothing was measured.
+    pub slowest_trace: u64,
     /// Observe round-trip latencies in microseconds.
     pub latency_us: Histogram,
 }
@@ -128,26 +136,30 @@ impl BenchReport {
             .set("decisions_total", Value::UInt(self.decisions_total))
             .set("decisions_per_sec", Value::num(self.decisions_per_sec))
             .set("resumed_dies", Value::UInt(self.resumed_dies))
+            .set("slowest_us", Value::UInt(self.slowest_us))
+            .set(
+                "slowest_trace",
+                Value::Str(format!("{:016x}", self.slowest_trace)),
+            )
             .set("latency_us", latency);
         v
     }
 }
 
 /// The p-th latency quantile, reported as the inclusive upper bound of
-/// the log2 bucket the quantile sample falls in.
+/// the log2 bucket the quantile sample falls in (now provided by
+/// [`Histogram::percentile`]; kept as the bench's public name).
 pub fn percentile(hist: &Histogram, p: f64) -> u64 {
-    if hist.is_empty() {
-        return 0;
-    }
-    let target = ((hist.count() as f64) * p).ceil().max(1.0) as u64;
-    let mut seen = 0;
-    for (i, n) in hist.buckets().iter().enumerate() {
-        seen += n;
-        if seen >= target {
-            return Histogram::bucket_upper(i);
-        }
-    }
-    Histogram::bucket_upper(Histogram::bucket_index(u64::MAX))
+    hist.percentile(p)
+}
+
+/// The deterministic trace id of the observe for `(die, seq)`. Both the
+/// load generator and anyone post-processing a trace dump can compute
+/// it, so a slow request found in the report is findable in the trace
+/// without any id plumbing. The request's root span id equals the trace
+/// id (the seeded-root convention).
+pub fn request_trace_id(die: usize, seq: u64) -> u64 {
+    tel::trace_id_from_seed((die as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq)
 }
 
 /// The deterministic per-core power trace the generator streams: a
@@ -189,13 +201,17 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let mut latency_us = Histogram::new();
     let mut decisions_total = 0;
     let mut resumed_dies = 0;
+    let mut slowest = (0u64, 0u64);
     for handle in handles {
-        let (hist, decisions, resumed) = handle
+        let (hist, decisions, resumed, conn_slowest) = handle
             .join()
             .map_err(|_| "bench connection thread panicked".to_string())??;
         latency_us.merge(&hist);
         decisions_total += decisions;
         resumed_dies += resumed;
+        if conn_slowest.0 > slowest.0 {
+            slowest = conn_slowest;
+        }
     }
     let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
 
@@ -210,6 +226,8 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
         decisions_total,
         decisions_per_sec: decisions_total as f64 / wall_s,
         resumed_dies,
+        slowest_us: slowest.0,
+        slowest_trace: slowest.1,
         latency_us,
     };
     if let Some(out) = &cfg.out {
@@ -220,12 +238,15 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
 }
 
 /// One connection: attach its dies, then paced writer + reply reader.
+/// Returns `(latency histogram, decisions, resumed dies, slowest)`
+/// where `slowest` is the `(latency_us, trace_id)` of this connection's
+/// slowest observe.
 fn drive_connection(
     conn_id: usize,
     connections: usize,
     cfg: &BenchConfig,
     gate: &Barrier,
-) -> Result<(Histogram, u64, u64), String> {
+) -> Result<(Histogram, u64, u64, (u64, u64)), String> {
     let stream = TcpStream::connect(&cfg.addr)
         .map_err(|e| format!("cannot connect to {}: {e}", cfg.addr))?;
     stream.set_nodelay(true).ok();
@@ -267,21 +288,32 @@ fn drive_connection(
         .filter(|k| (*k as usize % cfg.dies) % connections == conn_id)
         .collect();
     let expected_acks = my_slots.len() as u64;
-    let in_flight: Arc<Mutex<VecDeque<Instant>>> = Arc::new(Mutex::new(VecDeque::new()));
+    // Each entry is the send instant, the request's deterministic trace
+    // id, and the open `client.observe` root span (created on the writer
+    // thread, closed by the reader when the ack lands — so the span's
+    // duration is the full client-observed round trip).
+    type Flight = VecDeque<(Instant, u64, tel::TraceSpan)>;
+    let in_flight: Arc<Mutex<Flight>> = Arc::new(Mutex::new(VecDeque::new()));
 
     let reader_flight = Arc::clone(&in_flight);
-    let reader_thread = thread::spawn(move || -> Result<(Histogram, u64), String> {
+    let reader_thread = thread::spawn(move || -> Result<(Histogram, u64, (u64, u64)), String> {
         let mut hist = Histogram::new();
         let mut decisions = 0;
+        let mut slowest = (0u64, 0u64);
         for _ in 0..expected_acks {
             match read_message::<_, Message>(&mut reader).map_err(|e| e.to_string())? {
                 Some(Message::Ack { decision, .. }) => {
-                    let sent = reader_flight
+                    let (sent, trace_id, span) = reader_flight
                         .lock()
                         .expect("in-flight lock")
                         .pop_front()
                         .ok_or("ack without a matching in-flight send")?;
-                    hist.record(sent.elapsed().as_micros() as u64);
+                    let us = sent.elapsed().as_micros() as u64;
+                    drop(span);
+                    hist.record(us);
+                    if us > slowest.0 {
+                        slowest = (us, trace_id);
+                    }
                     if decision.is_some() {
                         decisions += 1;
                     }
@@ -292,7 +324,7 @@ fn drive_connection(
                 other => return Err(format!("unexpected observe reply: {other:?}")),
             }
         }
-        Ok((hist, decisions))
+        Ok((hist, decisions, slowest))
     });
 
     gate.wait();
@@ -307,21 +339,28 @@ fn drive_connection(
         let seq = next_seq[d];
         next_seq[d] += 1;
         let values = power_values(d, seq, cfg.cores);
+        let trace_id = request_trace_id(d, seq);
+        let ctx = tel::SpanContext {
+            trace_id,
+            span_id: trace_id,
+        };
+        let span = tel::TraceSpan::detached_with_ids("client.observe", trace_id, trace_id);
         in_flight
             .lock()
             .expect("in-flight lock")
-            .push_back(Instant::now());
+            .push_back((Instant::now(), trace_id, span));
         write_message(
             &mut writer,
             &Message::Observe {
                 die: die_name(d),
                 seq,
                 values,
+                trace: Some(ctx.to_traceparent()),
             },
         )
         .map_err(|e| e.to_string())?;
     }
-    let (hist, decisions) = reader_thread
+    let (hist, decisions, slowest) = reader_thread
         .join()
         .map_err(|_| "bench reader thread panicked".to_string())??;
 
@@ -337,7 +376,7 @@ fn drive_connection(
             other => return Err(format!("unexpected detach reply: {other:?}")),
         }
     }
-    Ok((hist, decisions, resumed_dies))
+    Ok((hist, decisions, resumed_dies, slowest))
 }
 
 /// The die identifier the bench uses for index `d`.
@@ -359,6 +398,18 @@ mod tests {
         assert_eq!(percentile(&h, 0.8), 128, "100µs bucket upper bound");
         assert_eq!(percentile(&h, 1.0), 16_384);
         assert_eq!(percentile(&Histogram::new(), 0.99), 0);
+    }
+
+    #[test]
+    fn request_trace_ids_are_deterministic_nonzero_and_distinct() {
+        assert_eq!(request_trace_id(3, 41), request_trace_id(3, 41));
+        assert_ne!(request_trace_id(3, 41), request_trace_id(3, 42));
+        assert_ne!(request_trace_id(3, 41), request_trace_id(4, 41));
+        for d in 0..8 {
+            for seq in 0..64 {
+                assert_ne!(request_trace_id(d, seq), 0);
+            }
+        }
     }
 
     #[test]

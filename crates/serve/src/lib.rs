@@ -24,14 +24,29 @@
 //! serve run   --addr 127.0.0.1:0 --addr-file /tmp/serve.addr --store snapshots.jsonl
 //! serve bench --addr-file /tmp/serve.addr --dies 8 --rate 2000 --requests 4000
 //! serve stats --addr-file /tmp/serve.addr
+//! serve trace --addr-file /tmp/serve.addr --max 16
+//! serve selftest-trace --out serve-trace.json
 //! serve shutdown --addr-file /tmp/serve.addr [--hard]
 //! ```
+//!
+//! # Observability
+//!
+//! `serve run --trace` turns on distributed tracing: every observe
+//! carrying a `traceparent` joins the client's trace, and the request's
+//! spans — connection thread, shard worker, batched thermal step — nest
+//! under it. `--chrome PATH` exports the recorded spans as Chrome
+//! trace-event JSON on shutdown (open it at <https://ui.perfetto.dev>),
+//! `--flight PATH` arms the flight recorder (panic / SIGUSR1 dump of the
+//! last spans and events), and `--slo-objective-us` sets the latency
+//! objective that `stats` and `trace` replies report error-budget burn
+//! against.
 
 #![deny(missing_docs)]
 
 pub(crate) mod batcher;
 pub mod bench;
 pub mod proto;
+pub mod selftest;
 pub mod session;
 pub mod supervisor;
 
@@ -43,6 +58,7 @@ use thermorl_telemetry as tel;
 
 pub use bench::{run_bench, BenchConfig, BenchReport};
 pub use proto::{Decision, Message, StatsReport, SERVE_PROTOCOL_VERSION};
+pub use selftest::{run_trace_selftest, TraceSelftest};
 pub use session::{BeginOutcome, Session, SessionMode, StepOutcome};
 pub use supervisor::{ServeConfig, ServeReport, Supervisor, SupervisorHandle};
 
@@ -96,14 +112,24 @@ fn parse_f64(flag: &str, value: Option<String>) -> Result<f64, String> {
 ///   ephemeral), `--addr-file PATH` (write the bound address),
 ///   `--store PATH` (snapshot store), `--fresh` (ignore existing
 ///   snapshots), `--shards N`, `--seed N`, `--snapshot-every EPOCHS`,
-///   `--epoch-samples N`, `--telemetry [PATH]`, `--quiet`. Runs until a
-///   client sends `shutdown`.
+///   `--epoch-samples N`, `--telemetry [PATH]`, `--trace` (distributed
+///   tracing), `--chrome PATH` (Chrome trace export on shutdown),
+///   `--flight PATH` (panic/SIGUSR1 flight recorder),
+///   `--slo-objective-us N` (latency objective for the SLO tracker),
+///   `--quiet`. Runs until a client sends `shutdown`.
 /// * `bench` — drive a running supervisor: `--addr HOST:PORT` or
 ///   `--addr-file PATH`, `--dies N`, `--cores N`, `--rate RPS`,
 ///   `--requests N`, `--connections N`, `--out PATH`
 ///   (default `BENCH_serve.json`), `--quick` (small fast preset).
 ///   Prints the report as one JSON line.
-/// * `stats` — print the supervisor's counters as one JSON line.
+/// * `stats` — print the supervisor's counters and SLO summary as one
+///   JSON line.
+/// * `trace` — print the supervisor's trace report (SLO summary, slowest
+///   traces, recent traces) as one JSON line; `--max N` caps the rows.
+/// * `selftest-trace` — run the in-process end-to-end trace selftest and
+///   export the Chrome trace (`--out PATH`, default `serve-trace.json`);
+///   exits nonzero unless a complete client → serve → shard →
+///   batch-step trace was recorded.
 /// * `shutdown` — stop the supervisor; `--hard` skips the final
 ///   snapshot pass (crash simulation).
 ///
@@ -115,16 +141,22 @@ fn parse_f64(flag: &str, value: Option<String>) -> Result<f64, String> {
 /// supervisor/client errors.
 pub fn serve_command(args: &[String]) -> Result<i32, String> {
     let Some(subcommand) = args.first() else {
-        return Err("serve needs a subcommand: run | bench | stats | shutdown".into());
+        return Err(
+            "serve needs a subcommand: run | bench | stats | trace | selftest-trace | shutdown"
+                .into(),
+        );
     };
     let rest = &args[1..];
     match subcommand.as_str() {
         "run" => run_command(rest),
         "bench" => bench_command(rest),
         "stats" => stats_command(rest),
+        "trace" => trace_command(rest),
+        "selftest-trace" => selftest_trace_command(rest),
         "shutdown" => shutdown_command(rest),
         other => Err(format!(
-            "unknown serve subcommand {other:?} (expected run | bench | stats | shutdown)"
+            "unknown serve subcommand {other:?} \
+             (expected run | bench | stats | trace | selftest-trace | shutdown)"
         )),
     }
 }
@@ -132,9 +164,22 @@ pub fn serve_command(args: &[String]) -> Result<i32, String> {
 fn run_command(args: &[String]) -> Result<i32, String> {
     let mut config = ServeConfig::default();
     let mut telemetry: Option<PathBuf> = None;
+    let mut trace = false;
+    let mut flight: Option<PathBuf> = None;
+    let mut chrome: Option<PathBuf> = None;
     let mut args = args.iter().cloned().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--trace" => trace = true,
+            "--flight" => {
+                flight = Some(PathBuf::from(args.next().ok_or("--flight needs a path")?));
+            }
+            "--chrome" => {
+                chrome = Some(PathBuf::from(args.next().ok_or("--chrome needs a path")?));
+            }
+            "--slo-objective-us" => {
+                config.slo_objective_us = parse_u64("--slo-objective-us", args.next())?.max(1);
+            }
             "--addr" => config.addr = args.next().ok_or("--addr needs a value")?,
             "--addr-file" => {
                 config.addr_file = Some(PathBuf::from(
@@ -162,8 +207,14 @@ fn run_command(args: &[String]) -> Result<i32, String> {
             other => return Err(format!("unknown serve run flag {other:?}")),
         }
     }
-    if telemetry.is_some() {
+    if telemetry.is_some() || trace || chrome.is_some() || flight.is_some() {
         tel::set_enabled(true);
+    }
+    if trace || chrome.is_some() || flight.is_some() {
+        tel::set_trace_enabled(true);
+    }
+    if let Some(path) = &flight {
+        tel::install_flight_recorder(path.clone());
     }
     let baseline = tel::snapshot();
     let quiet = config.quiet;
@@ -174,6 +225,13 @@ fn run_command(args: &[String]) -> Result<i32, String> {
             .map_err(|e| format!("cannot write telemetry {}: {e}", path.display()))?;
         if !quiet {
             eprintln!("[serve] telemetry written to {}", path.display());
+        }
+    }
+    if let Some(path) = &chrome {
+        std::fs::write(path, tel::snapshot().to_chrome_trace())
+            .map_err(|e| format!("cannot write chrome trace {}: {e}", path.display()))?;
+        if !quiet {
+            eprintln!("[serve] chrome trace written to {}", path.display());
         }
     }
     println!("{}", report_line(&report.stats));
@@ -254,6 +312,40 @@ fn stats_command(args: &[String]) -> Result<i32, String> {
     }
 }
 
+fn trace_command(args: &[String]) -> Result<i32, String> {
+    let mut max = 16u64;
+    let mut passthrough = Vec::new();
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max" => max = parse_u64("--max", args.next())?,
+            other => passthrough.push(other.to_string()),
+        }
+    }
+    let (addr, _) = control_flags(&passthrough, None)?;
+    match control(&addr, &Message::Trace { max })? {
+        Message::Traces(report) => {
+            println!("{}", report.to_json());
+            Ok(0)
+        }
+        other => Err(format!("expected trace_report, got {other:?}")),
+    }
+}
+
+fn selftest_trace_command(args: &[String]) -> Result<i32, String> {
+    let mut out = PathBuf::from("serve-trace.json");
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a path")?),
+            other => return Err(format!("unknown serve selftest-trace flag {other:?}")),
+        }
+    }
+    let selftest = selftest::run_trace_selftest(Some(&out))?;
+    println!("{}", selftest.to_value().to_json());
+    Ok(0)
+}
+
 fn shutdown_command(args: &[String]) -> Result<i32, String> {
     let (addr, hard) = control_flags(args, Some("--hard"))?;
     match control(&addr, &Message::Shutdown { hard })? {
@@ -269,6 +361,7 @@ fn report_line(report: &StatsReport) -> String {
         .set("sessions_total", Value::UInt(report.sessions_total))
         .set("observes_total", Value::UInt(report.observes_total))
         .set("decisions_total", Value::UInt(report.decisions_total))
-        .set("snapshot_writes", Value::UInt(report.snapshot_writes));
+        .set("snapshot_writes", Value::UInt(report.snapshot_writes))
+        .set("slo", thermorl_dispatch::proto::slo_to_value(&report.slo));
     v.to_json()
 }

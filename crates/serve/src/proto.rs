@@ -16,9 +16,11 @@
 //! uninterrupted run (see `session` module docs).
 
 use thermorl_dispatch::proto::{
-    bool_field, f64_arr_field, f64_field, str_field, u64_field, WireMessage,
+    bool_field, f64_arr_field, f64_field, opt_str_field, slo_from_value, slo_to_value, str_field,
+    u64_field, TraceReport, WireMessage,
 };
 use thermorl_sim::json::Value;
+use thermorl_telemetry::SloSummary;
 
 /// Protocol version sent in `attach`; the supervisor rejects mismatches.
 pub const SERVE_PROTOCOL_VERSION: u64 = 1;
@@ -77,7 +79,7 @@ impl Decision {
 }
 
 /// Aggregate supervisor counters returned by `stats`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReport {
     /// Sessions currently attached.
     pub sessions_active: u64,
@@ -89,6 +91,9 @@ pub struct StatsReport {
     pub decisions_total: u64,
     /// Session snapshots written to the store.
     pub snapshot_writes: u64,
+    /// SLO state of the supervisor's `serve.request` span (all-zero when
+    /// telemetry is off).
+    pub slo: SloSummary,
 }
 
 /// A serve protocol message (both directions).
@@ -127,6 +132,9 @@ pub enum Message {
         seq: u64,
         /// Per-core payload: watts in `power` mode, °C in `temps` mode.
         values: Vec<f64>,
+        /// Optional W3C-style `traceparent` — the server's handling spans
+        /// join the client's trace when present (and tracing is on).
+        trace: Option<String>,
     },
     /// Server → client: the observe was processed.
     Ack {
@@ -156,6 +164,13 @@ pub enum Message {
     Stats,
     /// Server → client: the counters.
     Report(StatsReport),
+    /// Client → server: report sampled traces and the request-span SLO.
+    Trace {
+        /// Upper bound on slowest/recent rows returned.
+        max: u64,
+    },
+    /// Server → client: sampled traces and request SLO.
+    Traces(TraceReport),
     /// Client → server: stop the supervisor. `hard` skips the final
     /// snapshot pass, simulating a crash.
     Shutdown {
@@ -201,7 +216,12 @@ impl WireMessage for Message {
                     .set("acked_seq", Value::UInt(*acked_seq))
                     .set("epochs", Value::UInt(*epochs));
             }
-            Message::Observe { die, seq, values } => {
+            Message::Observe {
+                die,
+                seq,
+                values,
+                trace,
+            } => {
                 v.set("type", Value::Str("observe".into()))
                     .set("die", Value::Str(die.clone()))
                     .set("seq", Value::UInt(*seq))
@@ -209,6 +229,9 @@ impl WireMessage for Message {
                         "values",
                         Value::Arr(values.iter().map(|x| Value::num(*x)).collect()),
                     );
+                if let Some(trace) = trace {
+                    v.set("trace", Value::Str(trace.clone()));
+                }
             }
             Message::Ack {
                 die,
@@ -242,7 +265,16 @@ impl WireMessage for Message {
                     .set("sessions_total", Value::UInt(report.sessions_total))
                     .set("observes_total", Value::UInt(report.observes_total))
                     .set("decisions_total", Value::UInt(report.decisions_total))
-                    .set("snapshot_writes", Value::UInt(report.snapshot_writes));
+                    .set("snapshot_writes", Value::UInt(report.snapshot_writes))
+                    .set("slo", slo_to_value(&report.slo));
+            }
+            Message::Trace { max } => {
+                v.set("type", Value::Str("trace".into()))
+                    .set("max", Value::UInt(*max));
+            }
+            Message::Traces(report) => {
+                v = report.to_value();
+                v.set("type", Value::Str("trace_report".into()));
             }
             Message::Shutdown { hard } => {
                 v.set("type", Value::Str("shutdown".into()))
@@ -284,6 +316,7 @@ impl WireMessage for Message {
                 die: str_field(&v, &tag, "die")?,
                 seq: u64_field(&v, &tag, "seq")?,
                 values: f64_arr_field(&v, &tag, "values")?,
+                trace: opt_str_field(&v, "trace"),
             }),
             "ack" => Ok(Message::Ack {
                 die: str_field(&v, &tag, "die")?,
@@ -308,7 +341,16 @@ impl WireMessage for Message {
                 observes_total: u64_field(&v, &tag, "observes_total")?,
                 decisions_total: u64_field(&v, &tag, "decisions_total")?,
                 snapshot_writes: u64_field(&v, &tag, "snapshot_writes")?,
+                slo: slo_from_value(
+                    v.get("slo")
+                        .ok_or_else(|| format!("{tag} message missing \"slo\""))?,
+                    &tag,
+                )?,
             })),
+            "trace" => Ok(Message::Trace {
+                max: u64_field(&v, &tag, "max")?,
+            }),
+            "trace_report" => Ok(Message::Traces(TraceReport::from_value(&v, &tag)?)),
             "shutdown" => Ok(Message::Shutdown {
                 hard: bool_field(&v, &tag, "hard")?,
             }),
@@ -351,6 +393,13 @@ mod tests {
             die: "die-3".into(),
             seq: 41,
             values: vec![3.5, 0.25, 1.0e-9, 12.125],
+            trace: None,
+        });
+        round_trip(Message::Observe {
+            die: "die-3".into(),
+            seq: 42,
+            values: vec![3.5],
+            trace: Some("00-0000000000000000deadbeefcafef00d-0123456789abcdef-01".into()),
         });
         round_trip(Message::Ack {
             die: "die-3".into(),
@@ -387,6 +436,33 @@ mod tests {
             observes_total: 1000,
             decisions_total: 100,
             snapshot_writes: 25,
+            slo: SloSummary {
+                count: 1000,
+                p50_ns: 8192,
+                p99_ns: 131_072,
+                objective_ns: 1_000_000,
+                target: 0.99,
+                over_objective: 3,
+                error_rate: 0.003,
+                budget_burn: 0.3,
+            },
+        }));
+        round_trip(Message::Trace { max: 8 });
+        round_trip(Message::Traces(TraceReport {
+            slo: SloSummary {
+                objective_ns: 1_000_000,
+                target: 0.99,
+                ..SloSummary::default()
+            },
+            slowest: vec![thermorl_telemetry::TraceSummary {
+                trace_id: 0xAB,
+                root_name: "client.observe".into(),
+                start_us: 4,
+                dur_us: 900,
+                spans: 4,
+                orphans: 0,
+            }],
+            recent: vec![],
         }));
         round_trip(Message::Shutdown { hard: true });
         round_trip(Message::ShuttingDown);

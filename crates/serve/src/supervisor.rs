@@ -62,6 +62,10 @@ pub struct ServeConfig {
     pub snapshot_every: u64,
     /// Decision epoch length (sensor samples per epoch) for new sessions.
     pub epoch_samples: usize,
+    /// SLO objective for the `serve.request` span, in microseconds
+    /// (`stats` and `trace` replies report p50/p99 and error-budget burn
+    /// against it).
+    pub slo_objective_us: u64,
     /// Suppress progress output.
     pub quiet: bool,
 }
@@ -77,13 +81,14 @@ impl Default for ServeConfig {
             seed: 0xDAC14,
             snapshot_every: 2,
             epoch_samples: ControlConfig::default().epoch_samples,
+            slo_objective_us: 1000,
             quiet: false,
         }
     }
 }
 
 /// What the supervisor reports after it stops.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// The address the supervisor was bound to.
     pub addr: SocketAddr,
@@ -101,19 +106,36 @@ struct Stats {
 }
 
 impl Stats {
-    fn report(&self) -> StatsReport {
+    fn report(&self, slo: &tel::SloConfig) -> StatsReport {
         StatsReport {
             sessions_active: self.sessions_active.load(Ordering::Relaxed),
             sessions_total: self.sessions_total.load(Ordering::Relaxed),
             observes_total: self.observes_total.load(Ordering::Relaxed),
             decisions_total: self.decisions_total.load(Ordering::Relaxed),
             snapshot_writes: self.snapshot_writes.load(Ordering::Relaxed),
+            slo: request_slo(slo),
         }
     }
 }
 
+/// The current SLO state of the `serve.request` span histogram.
+fn request_slo(cfg: &tel::SloConfig) -> tel::SloSummary {
+    tel::snapshot()
+        .spans
+        .get("serve.request")
+        .map(|s| tel::slo_summary(&s.hist, cfg))
+        .unwrap_or_else(|| tel::SloSummary {
+            objective_ns: cfg.objective_ns,
+            target: cfg.target,
+            ..tel::SloSummary::default()
+        })
+}
+
 struct ShardRequest {
     msg: Message,
+    /// The `serve.request` span's context — the shard's spans nest under
+    /// the connection thread's, keeping one trace across both threads.
+    ctx: Option<tel::SpanContext>,
     reply: Sender<Message>,
 }
 
@@ -123,6 +145,7 @@ struct Shared {
     stats: Arc<Stats>,
     stop: Arc<AtomicBool>,
     hard: Arc<AtomicBool>,
+    slo: tel::SloConfig,
 }
 
 /// A running supervisor: inspect the bound address, stop it, join it.
@@ -231,6 +254,7 @@ impl Supervisor {
             stats: Arc::clone(&stats),
             stop: Arc::clone(&stop),
             hard: Arc::clone(&hard),
+            slo: slo_config(&config),
         });
         let accept_stop = Arc::clone(&stop);
         let quiet = config.quiet;
@@ -253,6 +277,14 @@ impl Supervisor {
     /// See [`Supervisor::spawn`].
     pub fn run(config: ServeConfig) -> io::Result<ServeReport> {
         Supervisor::spawn(config)?.join()
+    }
+}
+
+/// The SLO the supervisor evaluates `serve.request` against.
+fn slo_config(config: &ServeConfig) -> tel::SloConfig {
+    tel::SloConfig {
+        objective_ns: config.slo_objective_us.saturating_mul(1000),
+        ..tel::SloConfig::default()
     }
 }
 
@@ -317,6 +349,7 @@ fn accept_loop(
         let _ = handle.join();
     }
     let stats = Arc::clone(&shared.stats);
+    let slo = shared.slo;
     // Dropping the last shard senders disconnects the channels; shards
     // run their final snapshot pass (unless `hard`) and exit.
     drop(shared);
@@ -325,7 +358,7 @@ fn accept_loop(
     }
     let report = ServeReport {
         addr,
-        stats: stats.report(),
+        stats: stats.report(&slo),
     };
     if !quiet {
         eprintln!(
@@ -340,9 +373,27 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(msg) = read_message::<_, Message>(&mut reader)? {
-        let _span = tel::span!("serve.request");
+        // An observe carrying a traceparent joins the client's trace;
+        // everything else roots a fresh one. Either way the span feeds
+        // the aggregate `serve.request` stats (and so the SLO).
+        let parent = match &msg {
+            Message::Observe {
+                trace: Some(trace), ..
+            } => tel::SpanContext::parse_traceparent(trace),
+            _ => None,
+        };
+        let span = tel::TraceSpan::with_parent("serve.request", parent);
+        let ctx = span.context();
         let reply = match msg {
-            Message::Stats => Message::Report(shared.stats.report()),
+            Message::Stats => Message::Report(shared.stats.report(&shared.slo)),
+            Message::Trace { max } => {
+                Message::Traces(thermorl_dispatch::proto::build_trace_report(
+                    &tel::snapshot(),
+                    "serve.request",
+                    &shared.slo,
+                    max.min(256) as usize,
+                ))
+            }
             Message::Shutdown { hard } => {
                 if hard {
                     shared.hard.store(true, Ordering::SeqCst);
@@ -358,6 +409,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 let routed = shared.shards[shard]
                     .send(ShardRequest {
                         msg: msg.clone(),
+                        ctx,
                         reply: tx,
                     })
                     .is_ok();
@@ -435,6 +487,7 @@ fn run_shard(
                         &stats,
                         &cfg,
                     );
+                    let _g = tel::TraceSpan::with_parent("shard.handle", req.ctx);
                     let reply = handle_shard_message(
                         req.msg,
                         &mut sessions,
@@ -474,7 +527,10 @@ fn try_admit(
     sessions: &mut HashMap<String, Session>,
     batch: &mut Vec<PendingObserve>,
 ) -> Option<ShardRequest> {
-    let admissible = if let Message::Observe { die, seq, values } = &req.msg {
+    let admissible = if let Message::Observe {
+        die, seq, values, ..
+    } = &req.msg
+    {
         !batch.iter().any(|p| &p.die == die)
             && sessions.get(die).is_some_and(|s| {
                 s.mode() == SessionMode::Power && *seq == s.seq() + 1 && values.len() == s.cores()
@@ -485,9 +541,15 @@ fn try_admit(
     if !admissible {
         return Some(req);
     }
-    let Message::Observe { die, seq, values } = req.msg else {
+    let Message::Observe {
+        die, seq, values, ..
+    } = req.msg
+    else {
         unreachable!("admissibility checked above")
     };
+    // The observe's span lives in the pending entry: it opens here, spans
+    // the batched advance, and closes right after the ack is sent.
+    let span = tel::TraceSpan::with_parent("shard.observe", req.ctx);
     let session = sessions.get_mut(&die).expect("admissibility checked above");
     match session.begin_step(seq, &values) {
         Ok(BeginOutcome::Ready) => {
@@ -495,6 +557,7 @@ fn try_admit(
                 die,
                 seq,
                 values,
+                span: Some(span),
                 reply: req.reply,
             });
             None
@@ -531,7 +594,20 @@ fn flush_batch(
     if batch.is_empty() {
         return;
     }
+    // The shared thermal step belongs to the first member's trace (so at
+    // least one client trace contains the batch step end to end) and
+    // links to every member it fanned in.
+    let mut step = tel::TraceSpan::with_parent(
+        "thermal.batch_step",
+        batch[0].span.as_ref().and_then(tel::TraceSpan::context),
+    );
+    for p in batch.iter().skip(1) {
+        if let Some(ctx) = p.span.as_ref().and_then(tel::TraceSpan::context) {
+            step.add_link(ctx);
+        }
+    }
     batcher.advance(batch, sessions);
+    drop(step);
     for p in batch.drain(..) {
         let session = sessions.get_mut(&p.die).expect("pending die is attached");
         let outcome = session.finish_step(p.seq, &p.values);
@@ -643,7 +719,9 @@ fn handle_shard_message(
             sessions.insert(die, session);
             reply
         }
-        Message::Observe { die, seq, values } => {
+        Message::Observe {
+            die, seq, values, ..
+        } => {
             let Some(session) = sessions.get_mut(&die) else {
                 return Message::Error {
                     message: format!("die {die:?} is not attached"),

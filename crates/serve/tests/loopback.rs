@@ -36,6 +36,7 @@ fn config(store: &Path) -> ServeConfig {
         seed: 99,
         snapshot_every: 1,
         epoch_samples: 3,
+        slo_objective_us: 1000,
         quiet: true,
     }
 }
@@ -89,6 +90,7 @@ impl Client {
             die: die.clone(),
             seq,
             values: power_values(die_idx, seq, CORES),
+            trace: None,
         }) {
             Message::Ack {
                 seq: got,
@@ -245,6 +247,7 @@ fn metrics_flow_to_stats_json_and_prometheus() {
             die: "m-die".into(),
             seq,
             values: power_values(0, seq, CORES),
+            trace: None,
         }) {
             Message::Ack { decision, .. } => decisions += u64::from(decision.is_some()),
             other => panic!("observe got {other:?}"),
@@ -325,6 +328,7 @@ fn protocol_errors_answer_cleanly() {
         die: "ghost".into(),
         seq: 1,
         values: vec![1.0; CORES],
+        trace: None,
     }));
     assert!(msg.contains("not attached"), "{msg}");
 
@@ -345,6 +349,7 @@ fn protocol_errors_answer_cleanly() {
         die: "e".into(),
         seq: 5,
         values: vec![1.0; CORES],
+        trace: None,
     }));
     assert!(msg.contains("sequence gap"), "{msg}");
 
@@ -352,6 +357,7 @@ fn protocol_errors_answer_cleanly() {
         die: "e".into(),
         seq: 1,
         values: vec![1.0; CORES],
+        trace: None,
     });
     assert!(matches!(
         first,
@@ -364,6 +370,7 @@ fn protocol_errors_answer_cleanly() {
         die: "e".into(),
         seq: 1,
         values: vec![1.0; CORES],
+        trace: None,
     });
     assert!(matches!(
         retransmit,

@@ -17,6 +17,11 @@ pub struct Event {
     /// Global sequence number (one counter across all threads), so events
     /// merged from several shards can be totally ordered.
     pub seq: u64,
+    /// Microseconds since the process trace epoch
+    /// ([`crate::trace::now_us`]), placing the event on the same
+    /// timeline trace spans use — Chrome-trace exports render events as
+    /// instants between spans.
+    pub ts_us: u64,
     /// The static event name.
     pub name: &'static str,
     /// Free-form detail, empty when the event carries none.
@@ -127,6 +132,7 @@ mod tests {
     fn ev(seq: u64) -> Event {
         Event {
             seq,
+            ts_us: seq,
             name: "t",
             detail: String::new(),
         }
@@ -160,6 +166,7 @@ mod tests {
     fn label_joins_name_and_detail() {
         let e = Event {
             seq: 0,
+            ts_us: 0,
             name: "detect",
             detail: "intra".into(),
         };

@@ -7,9 +7,10 @@
 
 use crate::histogram::Histogram;
 use crate::registry::{Snapshot, SpanStats};
+use crate::trace::SpanRecord;
 
 /// Escapes a string for embedding in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -99,15 +100,31 @@ impl Snapshot {
             .map(|(k, s)| format!("\"{}\":{}", json_escape(k), span_json(s)))
             .collect();
         let events: Vec<String> = self.events.iter().map(event_json).collect();
+        let traces: Vec<String> = self.trace_spans.iter().map(span_record_json).collect();
+        let shards: Vec<String> = self
+            .shard_occupancy
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"events\":{},\"events_capacity\":{},\
+                     \"trace_spans\":{},\"trace_capacity\":{}}}",
+                    o.events, o.events_capacity, o.trace_spans, o.trace_capacity
+                )
+            })
+            .collect();
         format!(
             "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}},\
-             \"spans\":{{{}}},\"events\":[{}],\"events_dropped\":{}}}",
+             \"spans\":{{{}}},\"events\":[{}],\"events_dropped\":{},\
+             \"trace_spans\":[{}],\"trace_spans_dropped\":{},\"shards\":[{}]}}",
             counters.join(","),
             gauges.join(","),
             histograms.join(","),
             spans.join(","),
             events.join(","),
-            self.events_dropped
+            self.events_dropped,
+            traces.join(","),
+            self.trace_spans_dropped,
+            shards.join(",")
         )
     }
 
@@ -129,6 +146,43 @@ impl Snapshot {
         }
         for (name, stats) in &self.spans {
             prom_histogram(&mut out, &format!("{}_ns", prom_name(name)), &stats.hist);
+        }
+        out.push_str(&format!(
+            "# TYPE telemetry_events_dropped counter\n\
+             telemetry_events_dropped {}\n\
+             # TYPE telemetry_trace_spans_dropped counter\n\
+             telemetry_trace_spans_dropped {}\n",
+            self.events_dropped, self.trace_spans_dropped
+        ));
+        if !self.shard_occupancy.is_empty() {
+            out.push_str("# TYPE telemetry_ring_events gauge\n");
+            for (i, o) in self.shard_occupancy.iter().enumerate() {
+                out.push_str(&format!(
+                    "telemetry_ring_events{{shard=\"{i}\"}} {}\n",
+                    o.events
+                ));
+            }
+            out.push_str("# TYPE telemetry_ring_events_capacity gauge\n");
+            for (i, o) in self.shard_occupancy.iter().enumerate() {
+                out.push_str(&format!(
+                    "telemetry_ring_events_capacity{{shard=\"{i}\"}} {}\n",
+                    o.events_capacity
+                ));
+            }
+            out.push_str("# TYPE telemetry_ring_trace_spans gauge\n");
+            for (i, o) in self.shard_occupancy.iter().enumerate() {
+                out.push_str(&format!(
+                    "telemetry_ring_trace_spans{{shard=\"{i}\"}} {}\n",
+                    o.trace_spans
+                ));
+            }
+            out.push_str("# TYPE telemetry_ring_trace_capacity gauge\n");
+            for (i, o) in self.shard_occupancy.iter().enumerate() {
+                out.push_str(&format!(
+                    "telemetry_ring_trace_capacity{{shard=\"{i}\"}} {}\n",
+                    o.trace_capacity
+                ));
+            }
         }
         out
     }
@@ -177,10 +231,34 @@ impl Snapshot {
 
 fn event_json(e: &crate::events::Event) -> String {
     format!(
-        "{{\"seq\":{},\"name\":\"{}\",\"detail\":\"{}\"}}",
+        "{{\"seq\":{},\"ts_us\":{},\"name\":\"{}\",\"detail\":\"{}\"}}",
         e.seq,
+        e.ts_us,
         json_escape(e.name),
         json_escape(&e.detail)
+    )
+}
+
+// Trace/span ids export as 16-hex strings: u64 values exceed the 2^53
+// integers JSON consumers can hold losslessly.
+fn span_record_json(s: &SpanRecord) -> String {
+    let links: Vec<String> = s
+        .links
+        .iter()
+        .map(|l| format!("\"{:016x}/{:016x}\"", l.trace_id, l.span_id))
+        .collect();
+    format!(
+        "{{\"seq\":{},\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\
+         \"name\":\"{}\",\"start_us\":{},\"dur_us\":{},\"thread\":{},\"links\":[{}]}}",
+        s.seq,
+        s.trace_id,
+        s.span_id,
+        s.parent_id,
+        json_escape(s.name),
+        s.start_us,
+        s.dur_us,
+        s.thread,
+        links.join(",")
     )
 }
 
@@ -236,8 +314,27 @@ mod tests {
         snap.spans.insert("engine.decide".into(), s);
         snap.events.push(Event {
             seq: 0,
+            ts_us: 42,
             name: "detect",
             detail: "inter".into(),
+        });
+        snap.trace_spans.push(SpanRecord {
+            seq: 1,
+            trace_id: 0xAB,
+            span_id: 0xCD,
+            parent_id: 0,
+            name: "serve.request",
+            start_us: 5,
+            dur_us: 17,
+            thread: 2,
+            links: Vec::new(),
+        });
+        snap.trace_spans_dropped = 4;
+        snap.shard_occupancy.push(crate::registry::RingOccupancy {
+            events: 1,
+            events_capacity: 8192,
+            trace_spans: 1,
+            trace_capacity: 4096,
         });
         snap
     }
@@ -251,6 +348,14 @@ mod tests {
         assert!(json.contains("\"detail\":\"inter\""));
         assert!(json.contains("\"total_ns\":4000"));
         assert!(json.contains("\"events_dropped\":0"));
+        assert!(json.contains("\"ts_us\":42"));
+        assert!(json.contains("\"trace\":\"00000000000000ab\""));
+        assert!(json.contains("\"parent\":\"0000000000000000\""));
+        assert!(json.contains("\"trace_spans_dropped\":4"));
+        assert!(json.contains(
+            "\"shards\":[{\"events\":1,\"events_capacity\":8192,\
+             \"trace_spans\":1,\"trace_capacity\":4096}]"
+        ));
     }
 
     #[test]
@@ -261,6 +366,12 @@ mod tests {
         assert!(text.contains("agent_alpha 0.45"));
         assert!(text.contains("engine_decide_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("runner_job_ms_count 2"));
+        assert!(text.contains("telemetry_events_dropped 0"));
+        assert!(text.contains("telemetry_trace_spans_dropped 4"));
+        assert!(text.contains("telemetry_ring_events{shard=\"0\"} 1"));
+        assert!(text.contains("telemetry_ring_events_capacity{shard=\"0\"} 8192"));
+        assert!(text.contains("telemetry_ring_trace_spans{shard=\"0\"} 1"));
+        assert!(text.contains("telemetry_ring_trace_capacity{shard=\"0\"} 4096"));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The flight recorder: post-hoc trace dumps on crash or signal.
+//!
+//! The per-thread rings already hold the last few thousand spans and
+//! events; this module turns them into a *black box*. [`install`] arms
+//! three triggers that all funnel into one dump of the ring tails as
+//! Chrome trace JSON:
+//!
+//! * **panic** — a panic hook (chained in front of the existing one)
+//!   dumps synchronously before the process unwinds further, so the
+//!   file shows what the process was doing when it died;
+//! * **SIGUSR1** (Linux) — the handler only stores an `AtomicBool`
+//!   (the only async-signal-safe thing it could do); a watcher thread
+//!   polls the flag every ~200 ms and performs the dump outside signal
+//!   context. `kill -USR1 <pid>` inspects a live, healthy process
+//!   without stopping it;
+//! * **explicit** — [`request_dump`] sets the same flag
+//!   programmatically.
+//!
+//! The dump keeps the newest [`FLIGHT_LAST`] spans and events (by the
+//! shared sequence counter), so its size is bounded no matter how long
+//! the process ran.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
+use std::time::Duration;
+
+use crate::chrome::chrome_trace_json;
+use crate::registry;
+
+/// How many spans (and events) a flight dump keeps, newest first.
+pub const FLIGHT_LAST: usize = 2048;
+
+static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+static INSTALL: Once = Once::new();
+
+/// Writes the newest [`FLIGHT_LAST`] spans and events from the registry
+/// rings to `path` as Chrome trace JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn flight_dump(path: &Path) -> std::io::Result<()> {
+    let snap = registry::snapshot();
+    let spans = &snap.trace_spans[snap.trace_spans.len().saturating_sub(FLIGHT_LAST)..];
+    let events = &snap.events[snap.events.len().saturating_sub(FLIGHT_LAST)..];
+    std::fs::write(path, chrome_trace_json(spans, events) + "\n")
+}
+
+fn dump_now(reason: &str) {
+    let path = DUMP_PATH
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let Some(path) = path else {
+        return;
+    };
+    match flight_dump(&path) {
+        Ok(()) => eprintln!("[telemetry] flight recorder ({reason}): {}", path.display()),
+        Err(e) => eprintln!(
+            "[telemetry] flight recorder ({reason}) failed for {}: {e}",
+            path.display()
+        ),
+    }
+}
+
+/// Requests an asynchronous flight dump (performed by the watcher thread
+/// within ~200 ms). Safe to call from anywhere, including signal
+/// handlers — it only stores an atomic flag.
+pub fn request_dump() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(target_os = "linux")]
+mod sig {
+    use std::sync::atomic::Ordering;
+
+    // Raw libc `signal` — the workspace carries no libc crate, and the
+    // handler body (one atomic store) is async-signal-safe by
+    // construction.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGUSR1: i32 = 10;
+
+    extern "C" fn on_sigusr1(_signum: i32) {
+        super::REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install_sigusr1() {
+        unsafe {
+            signal(SIGUSR1, on_sigusr1 as *const () as usize);
+        }
+    }
+}
+
+/// Arms the flight recorder: future panics, `SIGUSR1` (Linux), and
+/// [`request_dump`] calls all write the ring tails to `path`. Calling
+/// again only retargets the path; the hooks and watcher install once per
+/// process.
+pub fn install(path: PathBuf) {
+    *DUMP_PATH.lock().unwrap_or_else(PoisonError::into_inner) = Some(path);
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_now("panic");
+            previous(info);
+        }));
+        #[cfg(target_os = "linux")]
+        sig::install_sigusr1();
+        std::thread::Builder::new()
+            .name("telemetry-flight".into())
+            .spawn(|| loop {
+                std::thread::sleep(Duration::from_millis(200));
+                if REQUESTED.swap(false, Ordering::Relaxed) {
+                    dump_now("signal");
+                }
+            })
+            .expect("spawn flight watcher");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate as tel;
+    use std::time::Instant;
+
+    fn wait_for_file(path: &Path) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if path.exists() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        false
+    }
+
+    // One test drives every trigger: the recorder's dump path is a
+    // process-global, so splitting these into separate (concurrent)
+    // tests would race on it.
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn panic_hook_signal_and_request_all_dump() {
+        tel::set_enabled(true);
+        tel::set_trace_enabled(true);
+        {
+            let _g = tel::TraceSpan::root("flight.test");
+        }
+        tel::event!("flight.test.event", "armed");
+        let dir = std::env::temp_dir().join(format!("thermorl-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Explicit dump, no hooks needed.
+        let direct = dir.join("direct.json");
+        flight_dump(&direct).expect("direct dump");
+        let body = std::fs::read_to_string(&direct).expect("read");
+        assert!(body.starts_with("{\"traceEvents\":["));
+        assert!(body.contains("flight.test"));
+
+        // Panic hook: a panicking thread writes the dump before
+        // unwinding finishes.
+        let hooked = dir.join("panic.json");
+        install(hooked.clone());
+        let worker = std::thread::spawn(|| panic!("flight recorder test panic"));
+        assert!(worker.join().is_err(), "worker must panic");
+        assert!(hooked.exists(), "panic hook must dump synchronously");
+
+        // request_dump → watcher thread writes within its poll period.
+        let requested = dir.join("requested.json");
+        install(requested.clone());
+        request_dump();
+        assert!(wait_for_file(&requested), "watcher must perform the dump");
+
+        // SIGUSR1 → same watcher path, entered from a real signal.
+        #[cfg(target_os = "linux")]
+        {
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            let signalled = dir.join("signal.json");
+            install(signalled.clone());
+            unsafe {
+                raise(10);
+            }
+            assert!(wait_for_file(&signalled), "SIGUSR1 must trigger a dump");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -111,6 +111,25 @@ impl Histogram {
         out
     }
 
+    /// The p-th quantile, reported as the inclusive upper bound of the
+    /// log2 bucket the quantile sample falls in (0 when empty). The
+    /// resolution is the bucket width — good to a factor of two, which
+    /// is what SLO burn-rate math and latency tables here need.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(BUCKETS - 1)
+    }
+
     /// Bucket-wise saturating difference `self - baseline` (used to carve
     /// per-job deltas out of a thread's running totals).
     pub fn saturating_sub(&self, baseline: &Histogram) -> Histogram {

@@ -21,6 +21,15 @@
 //!   ([`EventLog`]); overflow evicts the oldest and counts the drop.
 //!   [`thread_events_since`] lets a consumer (the sim's trace bridge)
 //!   drain its thread's events incrementally.
+//! * **Distributed traces** — `let _g = trace_span!("serve.request");`
+//!   records a [`SpanRecord`] with full identity (trace id, span id,
+//!   parent) into a bounded per-thread ring when
+//!   [`set_trace_enabled`]`(true)` is also on; [`SpanContext`] rides
+//!   wire messages as a W3C-style `traceparent` so one trace follows a
+//!   request across threads and processes. Consumers: the Chrome-trace
+//!   exporter ([`Snapshot::to_chrome_trace`]), the [`flight`] recorder
+//!   (panic / SIGUSR1 dump of the ring tails), and [`slo_summary`]
+//!   (p50/p99 + error-budget burn over the span histograms).
 //!
 //! **Cost model.** Recording is off unless both the `telemetry` cargo
 //! feature (on by default, forwarded by every downstream crate) is
@@ -48,20 +57,32 @@
 
 #![deny(missing_docs)]
 
+pub mod chrome;
 pub mod events;
 pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod registry;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
+pub use chrome::chrome_trace_json;
 pub use events::{Event, EventLog, DEFAULT_EVENT_CAPACITY};
 pub use export::event_jsonl;
+pub use flight::{flight_dump, install as install_flight_recorder, request_dump, FLIGHT_LAST};
 pub use histogram::{Histogram, BUCKETS};
 pub use registry::{
     counter_add, enabled, gauge_set, next_event_seq, observe_value, record_event, record_span_ns,
-    reset, set_enabled, snapshot, thread_events_since, thread_snapshot, Snapshot, SpanStats,
+    record_trace_span, reset, set_enabled, set_trace_enabled, snapshot, thread_events_since,
+    thread_snapshot, trace_enabled, RingOccupancy, Snapshot, SpanStats,
 };
+pub use slo::{slo_summary, SloConfig, SloSummary};
 pub use span::SpanGuard;
+pub use trace::{
+    now_us, summarize_traces, trace_id_from_seed, SpanContext, SpanRecord, TraceLog, TraceSpan,
+    TraceSummary, DEFAULT_TRACE_CAPACITY,
+};
 
 /// Increments a named counter: `counter!("engine.samples")` adds 1,
 /// `counter!("engine.samples", n)` adds `n`. Arguments are not evaluated
@@ -123,6 +144,19 @@ macro_rules! event {
 macro_rules! span {
     ($name:expr) => {
         $crate::SpanGuard::begin($name)
+    };
+}
+
+/// Starts an RAII *traced* span nested under the innermost live traced
+/// span on this thread: `let _g = trace_span!("serve.request");`. Times
+/// the scope like [`span!`] (same aggregate stats) and, when tracing is
+/// enabled, records a [`SpanRecord`] with trace identity on drop. Use
+/// [`TraceSpan::with_parent`] directly when the parent arrives over the
+/// wire.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {
+        $crate::TraceSpan::child($name)
     };
 }
 

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 
 use crate::events::Event;
 use crate::histogram::Histogram;
+use crate::trace::SpanRecord;
 
 #[cfg(feature = "telemetry")]
 use imp::with_shard;
@@ -67,6 +68,21 @@ impl SpanStats {
     }
 }
 
+/// Occupancy of one shard's bounded rings at snapshot time — how close
+/// each ring is to evicting, surfaced so operators can size capacities
+/// before drops start rather than after.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RingOccupancy {
+    /// Events currently held in the shard's event ring.
+    pub events: u64,
+    /// The event ring's fixed capacity.
+    pub events_capacity: u64,
+    /// Trace spans currently held in the shard's trace ring.
+    pub trace_spans: u64,
+    /// The trace ring's fixed capacity.
+    pub trace_capacity: u64,
+}
+
 /// A merged, point-in-time view of the registry (or of one shard).
 ///
 /// Maps are `BTreeMap` so exports are deterministically ordered; events
@@ -85,10 +101,19 @@ pub struct Snapshot {
     pub events: Vec<Event>,
     /// Events lost to ring-buffer overflow across all shards.
     pub events_dropped: u64,
+    /// Completed trace spans, globally ordered by `seq` (the same
+    /// counter events draw from, so spans and events interleave).
+    pub trace_spans: Vec<SpanRecord>,
+    /// Trace spans lost to ring-buffer overflow across all shards.
+    pub trace_spans_dropped: u64,
+    /// Per-shard ring occupancy (one row per registered shard, in
+    /// registration order).
+    pub shard_occupancy: Vec<RingOccupancy>,
 }
 
 impl Snapshot {
-    /// Whether nothing at all was recorded.
+    /// Whether nothing at all was recorded. Shard occupancy rows are
+    /// ignored: empty rings registered by idle threads are not data.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
@@ -96,6 +121,8 @@ impl Snapshot {
             && self.spans.is_empty()
             && self.events.is_empty()
             && self.events_dropped == 0
+            && self.trace_spans.is_empty()
+            && self.trace_spans_dropped == 0
     }
 
     /// The delta `self - baseline`: counter/histogram/span aggregates are
@@ -138,6 +165,17 @@ impl Snapshot {
             .cloned()
             .collect();
         out.events_dropped = self.events_dropped.saturating_sub(baseline.events_dropped);
+        let trace_floor = baseline.trace_spans.last().map(|s| s.seq + 1).unwrap_or(0);
+        out.trace_spans = self
+            .trace_spans
+            .iter()
+            .filter(|s| s.seq >= trace_floor)
+            .cloned()
+            .collect();
+        out.trace_spans_dropped = self
+            .trace_spans_dropped
+            .saturating_sub(baseline.trace_spans_dropped);
+        out.shard_occupancy = self.shard_occupancy.clone();
         out
     }
 }
@@ -151,6 +189,7 @@ mod imp {
 
     use crate::events::EventLog;
     use crate::histogram::Histogram;
+    use crate::trace::TraceLog;
 
     use super::SpanStats;
 
@@ -161,6 +200,7 @@ mod imp {
         pub histograms: HashMap<&'static str, Histogram>,
         pub spans: HashMap<&'static str, SpanStats>,
         pub events: EventLog,
+        pub traces: TraceLog,
     }
 
     pub(super) struct Registry {
@@ -174,6 +214,11 @@ mod imp {
     // instrumented call site even while recording is off, and a bare
     // static load dodges the lock's init check on that path.
     pub(super) static ENABLED: AtomicBool = AtomicBool::new(false);
+
+    // Tracing gates separately on top of `ENABLED`: metrics-only
+    // deployments pay nothing for the trace rings, and the extra load
+    // only happens once recording is already live.
+    pub(super) static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
 
@@ -224,6 +269,11 @@ mod imp {
         ENABLED.load(Ordering::Relaxed)
     }
 
+    #[inline]
+    pub(super) fn load_trace_enabled() -> bool {
+        TRACE_ENABLED.load(Ordering::Relaxed)
+    }
+
     pub(super) fn next_seq() -> u64 {
         global().seq.fetch_add(1, Ordering::Relaxed)
     }
@@ -249,6 +299,31 @@ pub fn enabled() -> bool {
 pub fn set_enabled(on: bool) {
     #[cfg(feature = "telemetry")]
     imp::ENABLED.store(on, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = on;
+}
+
+/// Whether trace recording is live: [`enabled`] AND the trace switch is
+/// on. The check short-circuits, so a fully disabled call site still
+/// costs one relaxed load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    #[cfg(feature = "telemetry")]
+    {
+        imp::load_enabled() && imp::load_trace_enabled()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        false
+    }
+}
+
+/// Flips the runtime trace-recording switch (no-op without the feature).
+/// Tracing also requires [`set_enabled`]`(true)` — the trace switch
+/// alone records nothing.
+pub fn set_trace_enabled(on: bool) {
+    #[cfg(feature = "telemetry")]
+    imp::TRACE_ENABLED.store(on, std::sync::atomic::Ordering::Relaxed);
     #[cfg(not(feature = "telemetry"))]
     let _ = on;
 }
@@ -322,10 +397,36 @@ pub fn record_event(name: &'static str, detail: String) {
             return;
         }
         let seq = imp::next_seq();
-        with_shard(|d| d.events.push(Event { seq, name, detail }));
+        let ts_us = crate::trace::now_us();
+        with_shard(|d| {
+            d.events.push(Event {
+                seq,
+                ts_us,
+                name,
+                detail,
+            })
+        });
     }
     #[cfg(not(feature = "telemetry"))]
     let _ = (name, detail);
+}
+
+/// Appends a completed trace span to the calling thread's trace ring,
+/// stamping it with the next global sequence number (shared with
+/// events). Dropped silently when tracing is off.
+#[inline]
+pub fn record_trace_span(record: SpanRecord) {
+    #[cfg(feature = "telemetry")]
+    {
+        if !trace_enabled() {
+            return;
+        }
+        let mut record = record;
+        record.seq = imp::next_seq();
+        with_shard(|d| d.traces.push(record));
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = record;
 }
 
 /// The next sequence number a future event would receive — the natural
@@ -380,6 +481,14 @@ fn merge_into(snap: &mut Snapshot, data: &imp::ShardData) {
     }
     snap.events.extend(data.events.iter().cloned());
     snap.events_dropped += data.events.dropped();
+    snap.trace_spans.extend(data.traces.iter().cloned());
+    snap.trace_spans_dropped += data.traces.dropped();
+    snap.shard_occupancy.push(RingOccupancy {
+        events: data.events.len() as u64,
+        events_capacity: data.events.capacity() as u64,
+        trace_spans: data.traces.len() as u64,
+        trace_capacity: data.traces.capacity() as u64,
+    });
 }
 
 /// Merges every shard into one [`Snapshot`] (empty without the feature).
@@ -394,6 +503,7 @@ pub fn snapshot() -> Snapshot {
             merge_into(&mut snap, &data);
         }
         snap.events.sort_by_key(|e| e.seq);
+        snap.trace_spans.sort_by_key(|s| s.seq);
         snap
     }
     #[cfg(not(feature = "telemetry"))]
@@ -431,5 +541,6 @@ pub fn reset() {
         data.histograms.clear();
         data.spans.clear();
         data.events.clear();
+        data.traces.clear();
     }
 }

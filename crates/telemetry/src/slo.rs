@@ -1,0 +1,161 @@
+//! SLO accounting over the registry's log2 latency histograms.
+//!
+//! An SLO here is "fraction `target` of requests complete within
+//! `objective_ns`". Everything is computed from a [`Histogram`] that is
+//! already being recorded (span durations), so tracking an SLO costs
+//! nothing on the hot path — [`slo_summary`] is pure arithmetic over the
+//! 32 bucket counts at read time.
+//!
+//! The math, bucket-resolution caveats included:
+//!
+//! * **percentiles** — [`Histogram::percentile`]: the inclusive upper
+//!   bound of the bucket holding the p-th sample (good to a factor of
+//!   two, the bucket width).
+//! * **violations** — a bucket counts as over-objective when its upper
+//!   bound exceeds the objective, i.e. when *any* sample in it could
+//!   have violated. This over-counts by at most one bucket's worth of
+//!   samples, so the reported burn rate is conservative (alerts early,
+//!   never late).
+//! * **burn rate** — `error_rate / (1 - target)`: the rate at which the
+//!   error budget is being consumed. 1.0 means "exactly on budget";
+//!   above 1.0 the budget runs out before the window does.
+
+use crate::histogram::Histogram;
+
+/// A latency objective: `target` fraction of requests within
+/// `objective_ns`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloConfig {
+    /// The latency objective in nanoseconds.
+    pub objective_ns: u64,
+    /// The target success fraction (e.g. 0.99 allows a 1% error budget).
+    pub target: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            // 1 ms at 99%: a decide under the paper's 100 ms epochs has
+            // three orders of magnitude of headroom, so breaching this
+            // is a real regression, not noise.
+            objective_ns: 1_000_000,
+            target: 0.99,
+        }
+    }
+}
+
+/// The computed SLO state of one latency histogram.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloSummary {
+    /// Samples in the histogram.
+    pub count: u64,
+    /// Median latency (log2-bucket upper bound), ns.
+    pub p50_ns: u64,
+    /// 99th-percentile latency (log2-bucket upper bound), ns.
+    pub p99_ns: u64,
+    /// The objective the summary was computed against, ns.
+    pub objective_ns: u64,
+    /// The target success fraction.
+    pub target: f64,
+    /// Samples that may have exceeded the objective (conservative: whole
+    /// buckets whose upper bound exceeds it).
+    pub over_objective: u64,
+    /// `over_objective / count` (0 when empty).
+    pub error_rate: f64,
+    /// `error_rate / (1 - target)`; 1.0 = consuming the error budget
+    /// exactly as fast as allowed.
+    pub budget_burn: f64,
+}
+
+/// Computes the SLO state of `hist` against `cfg`. Pure arithmetic over
+/// the bucket counts; an empty histogram yields an all-zero summary.
+pub fn slo_summary(hist: &Histogram, cfg: &SloConfig) -> SloSummary {
+    let count = hist.count();
+    let over_objective: u64 = hist
+        .buckets()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Histogram::bucket_upper(*i) > cfg.objective_ns)
+        .map(|(_, n)| *n)
+        .sum();
+    let error_rate = if count == 0 {
+        0.0
+    } else {
+        over_objective as f64 / count as f64
+    };
+    let budget = (1.0 - cfg.target).max(f64::MIN_POSITIVE);
+    SloSummary {
+        count,
+        p50_ns: hist.percentile(0.50),
+        p99_ns: hist.percentile(0.99),
+        objective_ns: cfg.objective_ns,
+        target: cfg.target,
+        over_objective,
+        error_rate,
+        budget_burn: error_rate / budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = slo_summary(&Histogram::new(), &SloConfig::default());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.error_rate, 0.0);
+        assert_eq!(s.budget_burn, 0.0);
+    }
+
+    #[test]
+    fn burn_rate_of_exactly_on_budget_is_one() {
+        // 99 fast samples, 1 slow: error rate 1%, target 99% → burn 1.0.
+        let mut samples = vec![100u64; 99];
+        samples.push(1 << 30);
+        let s = slo_summary(
+            &hist(&samples),
+            &SloConfig {
+                objective_ns: 1 << 20,
+                target: 0.99,
+            },
+        );
+        assert_eq!(s.count, 100);
+        assert_eq!(s.over_objective, 1);
+        assert!((s.error_rate - 0.01).abs() < 1e-12);
+        assert!((s.budget_burn - 1.0).abs() < 1e-9, "burn {}", s.budget_burn);
+    }
+
+    #[test]
+    fn violations_count_whole_buckets_conservatively() {
+        // Objective inside a bucket: the whole bucket counts as over.
+        let s = slo_summary(
+            &hist(&[700, 700, 100]),
+            &SloConfig {
+                objective_ns: 600,
+                target: 0.5,
+            },
+        );
+        // 700 lands in [512, 1024); its upper bound 1024 > 600 → over.
+        assert_eq!(s.over_objective, 2);
+        // 100 lands in [64, 128); 128 < 600 → not over.
+        assert!((s.error_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.budget_burn - (2.0 / 3.0) / 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_come_from_bucket_upper_bounds() {
+        let s = slo_summary(&hist(&[1, 1, 1, 100, 100, 10_000]), &SloConfig::default());
+        assert_eq!(s.p50_ns, 2);
+        assert_eq!(s.p99_ns, 16_384);
+    }
+}

@@ -8,6 +8,7 @@ use thermorl_telemetry::{Event, EventLog, Histogram, SpanStats};
 fn ev(seq: u64, detail: u64) -> Event {
     Event {
         seq,
+        ts_us: seq,
         name: "prop",
         detail: detail.to_string(),
     }
@@ -136,5 +137,120 @@ fn merged_events_are_globally_ordered() {
             .filter_map(|e| e.detail.strip_prefix(&format!("{t}/"))?.parse().ok())
             .collect();
         assert_eq!(per_thread, (0..50).collect::<Vec<usize>>());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any mix of nested and overlapping spans on one thread — children
+    /// opened while earlier siblings are still live, spans closed out of
+    /// LIFO order — reconstructs into one well-formed tree: every parent
+    /// id resolves within the trace and [`tel::summarize_traces`]
+    /// reports zero orphans.
+    #[test]
+    fn span_trees_reconstruct_without_orphans(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..8), 1..16),
+    ) {
+        tel::set_enabled(true);
+        tel::set_trace_enabled(true);
+        let root = tel::TraceSpan::root("prop.tree.root");
+        let trace_id = root.context().expect("tracing is on").trace_id;
+
+        let mut open: Vec<tel::TraceSpan> = Vec::new();
+        let mut created = 0usize;
+        for &(close, pick) in &ops {
+            if close && !open.is_empty() {
+                // Close an arbitrary open span — not necessarily the
+                // newest, so drops interleave non-LIFO.
+                drop(open.remove(pick % open.len()));
+            } else {
+                // Open a child of whatever is innermost right now.
+                open.push(tel::TraceSpan::child("prop.tree.node"));
+                created += 1;
+            }
+        }
+        drop(open);
+        drop(root);
+
+        let snap = tel::snapshot();
+        let ours: Vec<_> = snap
+            .trace_spans
+            .iter()
+            .filter(|r| r.trace_id == trace_id)
+            .collect();
+        prop_assert_eq!(ours.len(), created + 1);
+        let ids: std::collections::HashSet<u64> = ours.iter().map(|r| r.span_id).collect();
+        for r in &ours {
+            prop_assert!(
+                r.parent_id == 0 || ids.contains(&r.parent_id),
+                "span {:016x} has unresolved parent {:016x}",
+                r.span_id,
+                r.parent_id
+            );
+        }
+        let summaries = tel::summarize_traces(&snap.trace_spans);
+        let s = summaries
+            .iter()
+            .find(|s| s.trace_id == trace_id)
+            .expect("our trace is summarized");
+        prop_assert_eq!(s.spans, (created + 1) as u64);
+        prop_assert_eq!(s.orphans, 0u64);
+        prop_assert_eq!(&s.root_name, "prop.tree.root");
+    }
+
+    /// A parent context carried across threads (the wire-propagation
+    /// path) keeps every remote child in the same trace: worker spans on
+    /// other threads parent onto the root, their nested spans parent
+    /// onto them, and the reconstructed trace has no orphans.
+    #[test]
+    fn cross_thread_parents_propagate(
+        workers in 1usize..5,
+        nested in 1usize..4,
+    ) {
+        tel::set_enabled(true);
+        tel::set_trace_enabled(true);
+        let root = tel::TraceSpan::root("prop.x.root");
+        let ctx = root.context().expect("tracing is on");
+
+        let threads: Vec<_> = (0..workers)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let worker = tel::TraceSpan::with_parent("prop.x.worker", Some(ctx));
+                    for _ in 0..nested {
+                        let _inner = tel::TraceSpan::child("prop.x.inner");
+                    }
+                    drop(worker);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker thread");
+        }
+        drop(root);
+
+        let snap = tel::snapshot();
+        let ours: Vec<_> = snap
+            .trace_spans
+            .iter()
+            .filter(|r| r.trace_id == ctx.trace_id)
+            .collect();
+        prop_assert_eq!(ours.len(), 1 + workers * (1 + nested));
+        let ids: std::collections::HashSet<u64> = ours.iter().map(|r| r.span_id).collect();
+        for r in &ours {
+            prop_assert!(r.parent_id == 0 || ids.contains(&r.parent_id));
+        }
+        // Worker spans landed on distinct threads yet parent straight
+        // onto the root span.
+        for r in ours.iter().filter(|r| r.name == "prop.x.worker") {
+            prop_assert_eq!(r.parent_id, ctx.span_id);
+        }
+        let summaries = tel::summarize_traces(&snap.trace_spans);
+        let s = summaries
+            .iter()
+            .find(|s| s.trace_id == ctx.trace_id)
+            .expect("our trace is summarized");
+        prop_assert_eq!(s.orphans, 0u64);
+        prop_assert_eq!(&s.root_name, "prop.x.root");
     }
 }
