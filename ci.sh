@@ -29,6 +29,33 @@ cargo run --release -q -p thermorl-bench --bin bench_thermal -- --quick --gate
 grep -q '"batch"' BENCH_thermal.json \
     || { echo "BENCH_thermal.json missing the batch section"; exit 1; }
 
+echo "== policy tournament --quick (2 policies x 2 scenarios, leaderboard schema gate) =="
+rm -f BENCH_tournament.json
+timeout 300 cargo run --release -q -p thermorl-bench --bin tournament -- \
+    --quick --quiet --checkpoint "$(mktemp -d)/tournament.jsonl"
+python3 - BENCH_tournament.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "thermorl-tournament-v1", doc.get("schema")
+scenarios = doc["scenarios"]
+assert len(scenarios) == 2, f"quick gate expects 2 scenarios, got {len(scenarios)}"
+for s in scenarios:
+    assert s["name"], "scenario without a name"
+    cells = s["cells"]
+    assert len(cells) == 2, f"quick gate expects 2 policies, got {len(cells)}"
+    for c in cells:
+        for key in ("policy", "mttf_years", "energy_j", "ips",
+                    "avg_temp_c", "peak_temp_c", "completed", "reps", "score"):
+            assert key in c, f"cell missing {key}: {sorted(c)}"
+        assert c["mttf_years"] > 0 and c["energy_j"] > 0 and c["ips"] > 0, c
+board = doc["leaderboard"]
+assert board, "empty leaderboard"
+winner = doc["winner"]
+assert winner == board[0]["policy"], f"winner {winner!r} != top row {board[0]}"
+print(f"tournament OK: winner={winner}, "
+      f"{len(scenarios)} scenarios x {len(board)} policies")
+EOF
+
 echo "== dispatch loopback smoke (serve + status + work) =="
 # A real coordinator/worker round trip over 127.0.0.1 on an ephemeral
 # port, dispatching just the fig1/ slice of the campaign. Every step is

@@ -10,6 +10,9 @@
 //! structured events — and write the snapshot to PATH, default
 //! `telemetry.json`, plus events to the sibling `*.events.jsonl`).
 //!
+//! `--policy a,b,c` appends a policy-zoo comparison grid (paper slugs
+//! or `thermorl-policy` ids) rendered to `results/zoo.md`.
+//!
 //! Subcommands: `run_all merge-checkpoints OUT IN...` folds several
 //! shard checkpoints last-wins into one, and
 //! `run_all dispatch serve|work|status|drain ...` runs the campaign as a
@@ -27,12 +30,15 @@ use thermorl_bench::campaign::{
     check_failures, merge_checkpoints_command, new_campaign, CellOutcome,
 };
 use thermorl_bench::experiments as exp;
+use thermorl_bench::{policy_flag, Policy};
 use thermorl_runner::{Campaign, RunnerConfig};
 
 const DEFAULT_CHECKPOINT: &str = "results/campaign.jsonl";
 
-/// The full evaluation as one campaign; keys are prefixed per experiment.
-fn build_campaign() -> Campaign<CellOutcome> {
+/// The full evaluation as one campaign; keys are prefixed per
+/// experiment. `--policy a,b,c` appends a zoo comparison grid
+/// (`zoo/...` keys) over the selected contenders.
+fn build_campaign(zoo: &[Policy]) -> Campaign<CellOutcome> {
     let mut campaign = new_campaign("run_all");
     exp::figure1_jobs(&mut campaign);
     exp::table2_jobs(&mut campaign);
@@ -43,6 +49,7 @@ fn build_campaign() -> Campaign<CellOutcome> {
     exp::figure8_jobs(&mut campaign);
     exp::table3_figure9_jobs(&mut campaign);
     exp::ablations_jobs(&mut campaign);
+    exp::zoo_jobs(&mut campaign, zoo);
     campaign
 }
 
@@ -56,7 +63,14 @@ fn save(name: &str, content: &str) {
 
 fn main() {
     let t0 = Instant::now();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let zoo = match policy_flag(&mut args) {
+        Ok(flag) => flag.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            std::process::exit(2);
+        }
+    };
     if args.first().map(String::as_str) == Some("merge-checkpoints") {
         match merge_checkpoints_command(&args[1..]) {
             Ok(n) => {
@@ -71,8 +85,11 @@ fn main() {
         }
     }
     if args.first().map(String::as_str) == Some("dispatch") {
-        match thermorl_dispatch::dispatch_command(&args[1..], build_campaign(), DEFAULT_CHECKPOINT)
-        {
+        match thermorl_dispatch::dispatch_command(
+            &args[1..],
+            build_campaign(&zoo),
+            DEFAULT_CHECKPOINT,
+        ) {
             Ok(code) => std::process::exit(code),
             Err(e) => {
                 eprintln!("run_all dispatch: {e}");
@@ -106,7 +123,7 @@ fn main() {
     }
     std::fs::create_dir_all("results").expect("create results dir");
 
-    let campaign = build_campaign();
+    let campaign = build_campaign(&zoo);
     println!(
         "campaign: {} jobs on {} worker(s){}{}",
         campaign.len(),
@@ -193,6 +210,13 @@ fn main() {
     println!("[9/9] Ablations...");
     let ab = exp::ablations_render(&report);
     save("ablations.md", &format!("# Ablations\n\n{ab}"));
+
+    if !zoo.is_empty() {
+        println!("[+] Policy zoo ({} contender(s))...", zoo.len());
+        let z = exp::zoo_render(&report, &zoo);
+        save("zoo.md", &format!("# Policy zoo\n\n{z}"));
+        println!("{z}");
+    }
 
     println!(
         "\nAll experiments regenerated in {:.1} min ({} simulated, {} resumed).",

@@ -5,7 +5,10 @@
 //!
 //! Accepts the shared campaign flags (`--workers`, `--serial`,
 //! `--checkpoint`, `--resume`, `--timeout-s`, `--quiet`, `--shard I/N`,
-//! `--telemetry [PATH]`) and the `suite merge-checkpoints OUT IN...` and
+//! `--telemetry [PATH]`), a `--policy a,b,c` override of the compared
+//! policy set (paper slugs or `thermorl-policy` zoo ids — the campaign
+//! keys and checkpoint policy tags follow the selection), and the
+//! `suite merge-checkpoints OUT IN...` and
 //! `suite dispatch serve|work|status|drain ...` subcommands (the latter
 //! runs the grid as a distributed coordinator/worker fleet — see
 //! `thermorl-dispatch`). A sharded
@@ -15,7 +18,7 @@
 
 use thermorl_bench::campaign::{check_failures, merge_checkpoints_command};
 use thermorl_bench::table::{num, Table};
-use thermorl_bench::{Policy, SEED};
+use thermorl_bench::{policy_flag, Policy, SEED};
 use thermorl_runner::{scenario_grid, Campaign, PolicySpec, RunnerConfig};
 use thermorl_sim::{RunOutcome, SimConfig};
 use thermorl_workload::{alpbench, DataSet, Scenario};
@@ -24,8 +27,9 @@ const DEFAULT_CHECKPOINT: &str = "results/suite.jsonl";
 
 const NAMES: [&str; 5] = ["tachyon", "mpeg_dec", "mpeg_enc", "face_rec", "sphinx"];
 
-/// The suite grid: every benchmark × dataset × Table-2 policy.
-fn build_campaign() -> Campaign<RunOutcome> {
+/// The suite grid: every benchmark × dataset × selected policy
+/// (defaults to the Table-2 set; override with `--policy a,b,c`).
+fn build_campaign(policies: &[Policy]) -> Campaign<RunOutcome> {
     // One single-app scenario per (benchmark, dataset); names are
     // disambiguated with the dataset index so grid keys stay unique.
     let scenarios: Vec<Scenario> = NAMES
@@ -38,9 +42,9 @@ fn build_campaign() -> Campaign<RunOutcome> {
             })
         })
         .collect();
-    let policies: Vec<PolicySpec> = Policy::table2()
-        .into_iter()
-        .map(|p| PolicySpec::new(p.slug(), move |seed| p.build(seed)))
+    let policies: Vec<PolicySpec> = policies
+        .iter()
+        .map(|&p| PolicySpec::new(p.slug(), move |seed| p.build(seed)))
         .collect();
     scenario_grid(
         "suite",
@@ -53,7 +57,14 @@ fn build_campaign() -> Campaign<RunOutcome> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let policies = match policy_flag(&mut args) {
+        Ok(flag) => flag.unwrap_or_else(|| Policy::table2().to_vec()),
+        Err(e) => {
+            eprintln!("suite: {e}");
+            std::process::exit(2);
+        }
+    };
     if args.first().map(String::as_str) == Some("merge-checkpoints") {
         match merge_checkpoints_command(&args[1..]) {
             Ok(n) => {
@@ -68,8 +79,11 @@ fn main() {
         }
     }
     if args.first().map(String::as_str) == Some("dispatch") {
-        match thermorl_dispatch::dispatch_command(&args[1..], build_campaign(), DEFAULT_CHECKPOINT)
-        {
+        match thermorl_dispatch::dispatch_command(
+            &args[1..],
+            build_campaign(&policies),
+            DEFAULT_CHECKPOINT,
+        ) {
             Ok(code) => std::process::exit(code),
             Err(e) => {
                 eprintln!("suite dispatch: {e}");
@@ -91,7 +105,7 @@ fn main() {
 
     println!("# Full ALPBench suite — all five benchmarks (extension of Table 2)\n");
     let names = NAMES;
-    let report = build_campaign().run(&config);
+    let report = build_campaign(&policies).run(&config);
     if let Err(failures) = check_failures(&report) {
         eprintln!("suite: {failures}");
         eprintln!("re-run with --resume to retry only the failed jobs");
@@ -124,7 +138,7 @@ fn main() {
     for name in names {
         for ds in DataSet::all() {
             let app = alpbench::by_name(name, ds).expect("known benchmark");
-            for p in Policy::table2() {
+            for &p in &policies {
                 let out = report.payload(&format!("{}-{}/{}/0", name, ds.index(), p.slug()));
                 let s = out.reliability_summary();
                 table.row(vec![
@@ -147,8 +161,9 @@ fn main() {
     let mut wins = std::collections::HashMap::new();
     for name in names {
         for ds in DataSet::all() {
-            let best = Policy::table2()
-                .into_iter()
+            let best = policies
+                .iter()
+                .copied()
                 .max_by(|a, b| {
                     let get = |p: Policy| {
                         report
@@ -163,7 +178,7 @@ fn main() {
         }
     }
     println!("combined-MTTF wins out of 15 rows:");
-    for p in Policy::table2() {
+    for &p in &policies {
         println!("  {:<10} {}", p.label(), wins.get(p.label()).unwrap_or(&0));
     }
 }

@@ -186,6 +186,56 @@ fn table2_apps() -> Vec<(String, String, AppModel)> {
         .collect()
 }
 
+/// Pushes the policy-zoo grid selected with `--policy`: the Table-2
+/// applications under each selected policy, checkpoint-tagged with the
+/// policy slug so a resumed run never adopts another policy's cells.
+pub fn zoo_jobs(campaign: &mut Campaign<CellOutcome>, policies: &[Policy]) {
+    for (key_label, _, app) in table2_apps() {
+        for &p in policies {
+            campaign.push_tagged(
+                format!("zoo/{key_label}/{}/0", p.slug()),
+                p.slug(),
+                policy_job(Scenario::single(app.clone()), p),
+            );
+        }
+    }
+}
+
+/// Renders the zoo comparison: one row per application × policy with
+/// temperatures, combined MTTF, and energy.
+pub fn zoo_render(report: &CampaignReport<CellOutcome>, policies: &[Policy]) -> Table {
+    let mut table = Table::with_columns(&[
+        "Application",
+        "Data",
+        "Policy",
+        "Avg T",
+        "Peak T",
+        "Combined MTTF (y)",
+        "Energy (J)",
+    ]);
+    for (key_label, table_label, _) in table2_apps() {
+        for &p in policies {
+            let out = &report
+                .payload(&format!("zoo/{key_label}/{}/0", p.slug()))
+                .outcome;
+            let s = out.reliability_summary();
+            let (name, data) = table_label
+                .split_once(' ')
+                .unwrap_or((table_label.as_str(), ""));
+            table.row(vec![
+                name.to_string(),
+                data.to_string(),
+                p.label().to_string(),
+                num(out.avg_temperature(), 1),
+                num(out.peak_temperature(), 1),
+                num(s.mttf_combined_years, 2),
+                num(out.dynamic_energy_j + out.static_energy_j, 0),
+            ]);
+        }
+    }
+    table
+}
+
 /// Pushes the Table 2 grid: three applications × three datasets ×
 /// {Linux, Ge \[7\], Proposed}.
 pub fn table2_jobs(campaign: &mut Campaign<CellOutcome>) {

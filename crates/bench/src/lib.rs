@@ -19,7 +19,7 @@ pub mod plot;
 pub mod policy;
 pub mod table;
 
-pub use policy::Policy;
+pub use policy::{policy_flag, Policy};
 pub use table::Table;
 
 /// The master seed used by every experiment (deterministic outputs).

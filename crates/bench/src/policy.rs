@@ -1,7 +1,9 @@
-//! Factory for every policy compared in the paper.
+//! Factory for every policy compared in the paper, plus the zoo
+//! contenders from `thermorl-policy` behind the same interface.
 
 use thermorl_baselines::{FixedPolicy, GeConfig, GeQiu2011Controller, LinuxDefaultController};
 use thermorl_control::{ControlConfig, DasDac14Controller};
+use thermorl_policy::{PolicyController, PolicyId};
 use thermorl_sim::ThermalController;
 
 /// The policies the paper's evaluation compares.
@@ -24,6 +26,9 @@ pub enum Policy {
     Ge2011Modified,
     /// The proposed DAC'14 controller.
     Proposed,
+    /// A zoo contender from `thermorl-policy`, driven through the
+    /// [`Policy`](thermorl_policy::Policy) trait.
+    Zoo(PolicyId),
 }
 
 impl Policy {
@@ -64,7 +69,39 @@ impl Policy {
             Policy::Ge2011 => "Ge [7]",
             Policy::Ge2011Modified => "Ge mod [7]",
             Policy::Proposed => "Proposed",
+            Policy::Zoo(id) => id.label(),
         }
+    }
+
+    /// Parses a `--policy` CLI name: either a zoo policy id
+    /// (`das_dac14`, `egreedy`, …) or one of the paper slugs above.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the list of known names on an unknown one.
+    pub fn parse(s: &str) -> Result<Policy, String> {
+        if let Ok(id) = PolicyId::parse(s) {
+            return Ok(Policy::Zoo(id));
+        }
+        let paper = [
+            Policy::LinuxOndemand,
+            Policy::LinuxPowersave,
+            Policy::Linux24GHz,
+            Policy::Linux34GHz,
+            Policy::UserAssignment,
+            Policy::Ge2011,
+            Policy::Ge2011Modified,
+            Policy::Proposed,
+        ];
+        paper.into_iter().find(|p| p.slug() == s).ok_or_else(|| {
+            let zoo: Vec<&str> = PolicyId::ALL.iter().map(|p| p.as_str()).collect();
+            let slugs: Vec<&str> = paper.iter().map(|p| p.slug()).collect();
+            format!(
+                "unknown policy {s:?}; zoo: {}; paper: {}",
+                zoo.join(", "),
+                slugs.join(", ")
+            )
+        })
     }
 
     /// Stable key segment used in campaign job keys (lowercase, no
@@ -79,6 +116,7 @@ impl Policy {
             Policy::Ge2011 => "ge",
             Policy::Ge2011Modified => "ge-mod",
             Policy::Proposed => "proposed",
+            Policy::Zoo(id) => id.as_str(),
         }
     }
 
@@ -95,35 +133,46 @@ impl Policy {
                 Box::new(GeQiu2011Controller::modified(GeConfig::default(), seed))
             }
             Policy::Proposed => Box::new(DasDac14Controller::new(ControlConfig::default(), seed)),
+            Policy::Zoo(id) => Box::new(PolicyController::new(
+                id.build(ControlConfig::default(), seed),
+            )),
         }
     }
+}
+
+/// Strips a `--policy a,b,c` flag from `args` and parses the list.
+/// Returns `None` when the flag is absent (callers fall back to their
+/// default policy set).
+///
+/// # Errors
+///
+/// Fails on a missing or empty value, or an unknown policy name.
+pub fn policy_flag(args: &mut Vec<String>) -> Result<Option<Vec<Policy>>, String> {
+    let Some(i) = args.iter().position(|a| a == "--policy") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err("--policy needs a comma-separated list of policy names".into());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    let policies: Vec<Policy> = value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(Policy::parse)
+        .collect::<Result<_, _>>()?;
+    if policies.is_empty() {
+        return Err("--policy list is empty".into());
+    }
+    Ok(Some(policies))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn every_policy_builds() {
-        for p in [
-            Policy::LinuxOndemand,
-            Policy::LinuxPowersave,
-            Policy::Linux24GHz,
-            Policy::Linux34GHz,
-            Policy::UserAssignment,
-            Policy::Ge2011,
-            Policy::Ge2011Modified,
-            Policy::Proposed,
-        ] {
-            let c = p.build(1);
-            assert!(!c.name().is_empty());
-            assert!(!p.label().is_empty());
-        }
-    }
-
-    #[test]
-    fn slugs_are_unique_and_key_safe() {
-        let all = [
+    fn all_policies() -> Vec<Policy> {
+        let mut all = vec![
             Policy::LinuxOndemand,
             Policy::LinuxPowersave,
             Policy::Linux24GHz,
@@ -133,11 +182,59 @@ mod tests {
             Policy::Ge2011Modified,
             Policy::Proposed,
         ];
+        all.extend(PolicyId::ALL.into_iter().map(Policy::Zoo));
+        all
+    }
+
+    #[test]
+    fn every_policy_builds() {
+        for p in all_policies() {
+            let c = p.build(1);
+            assert!(!c.name().is_empty());
+            assert!(!p.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn slugs_are_unique_and_key_safe() {
+        let all = all_policies();
         let slugs: std::collections::HashSet<&str> = all.iter().map(|p| p.slug()).collect();
         assert_eq!(slugs.len(), all.len(), "slugs must be distinct");
         for s in slugs {
             assert!(!s.contains(' ') && !s.contains('/') && !s.contains('\n'));
         }
+    }
+
+    #[test]
+    fn parse_round_trips_every_slug_and_rejects_unknown() {
+        for p in all_policies() {
+            assert_eq!(Policy::parse(p.slug()), Ok(p), "slug {:?}", p.slug());
+        }
+        let err = Policy::parse("warp-core").unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+        assert!(err.contains("ucb1") && err.contains("proposed"), "{err}");
+    }
+
+    #[test]
+    fn policy_flag_strips_and_parses() {
+        let mut args: Vec<String> = ["--resume", "--policy", "ucb1,proposed", "--quiet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let got = policy_flag(&mut args).expect("parse");
+        assert_eq!(
+            got,
+            Some(vec![Policy::Zoo(PolicyId::Ucb1), Policy::Proposed])
+        );
+        assert_eq!(args, vec!["--resume".to_string(), "--quiet".to_string()]);
+
+        let mut none: Vec<String> = vec!["--quiet".into()];
+        assert_eq!(policy_flag(&mut none).expect("parse"), None);
+
+        let mut bad: Vec<String> = vec!["--policy".into(), "warp-core".into()];
+        assert!(policy_flag(&mut bad).is_err());
+        let mut missing: Vec<String> = vec!["--policy".into()];
+        assert!(policy_flag(&mut missing).is_err());
     }
 
     #[test]

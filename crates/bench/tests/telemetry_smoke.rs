@@ -16,6 +16,7 @@
 use thermorl_bench::Policy;
 use thermorl_control::{ControlConfig, DasDac14Controller, MovingAverageDetector};
 use thermorl_platform::CounterSnapshot;
+use thermorl_policy::PolicyId;
 use thermorl_runner::{Campaign, RunnerConfig};
 use thermorl_sim::json::Value;
 use thermorl_sim::{run_scenario, Observation, SimConfig, ThermalController};
@@ -54,6 +55,22 @@ fn sim_job(seed: u64) -> u64 {
     };
     let out = run_scenario(&scenario, Policy::Proposed.build(seed), &sim, seed);
     out.total_time as u64
+}
+
+/// A short run under two zoo contenders, so the per-policy
+/// `policy.decisions.*` counters have decisions to count.
+fn zoo_job(seed: u64) -> u64 {
+    let scenario = Scenario::single(alpbench::tachyon(DataSet::One));
+    let sim = SimConfig {
+        max_sim_time: 40.0,
+        ..SimConfig::default()
+    };
+    let mut epochs = 0;
+    for id in [PolicyId::Ucb1, PolicyId::Oracle] {
+        let out = run_scenario(&scenario, Policy::Zoo(id).build(seed), &sim, seed);
+        epochs += out.total_time as u64;
+    }
+    epochs
 }
 
 fn obs<'a>(temps: &'a [f64], freqs: &'a [f64], time: f64) -> Observation<'a> {
@@ -125,6 +142,7 @@ fn telemetry_export_meets_acceptance_criteria() {
     campaign.push("smoke/sim/0", sim_job);
     campaign.push("smoke/detect/0", detect_job);
     campaign.push("smoke/fleet/0", fleet_job);
+    campaign.push("smoke/zoo/0", zoo_job);
     let config = RunnerConfig {
         workers: 2,
         progress: false,
@@ -192,6 +210,30 @@ fn telemetry_export_meets_acceptance_criteria() {
     assert!(
         prom.contains(&format!("thermal_batch_width {FLEET_WIDTH}")),
         "prometheus export missing thermal_batch_width gauge:\n{prom}"
+    );
+
+    // Per-policy decision counters: each zoo contender that decided an
+    // epoch reports under its own id, in the JSON snapshot...
+    for id in [PolicyId::Ucb1, PolicyId::Oracle] {
+        let decisions = doc
+            .get("counters")
+            .and_then(|c| c.get(id.counter_name()))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        assert!(
+            decisions >= 1,
+            "{} missing or zero in telemetry JSON",
+            id.counter_name()
+        );
+    }
+    // ...and in the Prometheus rendering (`.` sanitized to `_`).
+    assert!(
+        prom.contains("# TYPE policy_decisions_ucb1 counter"),
+        "prometheus export missing policy_decisions_ucb1:\n{prom}"
+    );
+    assert!(
+        prom.contains("policy_decisions_oracle "),
+        "prometheus export missing policy_decisions_oracle"
     );
 
     // Ring health: the export always carries the dropped-event counter

@@ -127,6 +127,13 @@ impl DasDac14Controller {
         self
     }
 
+    /// Renames a live controller in place (the serving layer labels
+    /// sessions after construction; the name is pure metadata and does
+    /// not affect the decision stream).
+    pub fn rename(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Warm-starts the agent from a previously learned Q-table (as
     /// returned by [`QTable::snapshot`]) and an initial α. The table
     /// becomes both the live table and the `Q_exp` snapshot, so the agent

@@ -192,6 +192,31 @@ impl<T: Send + 'static> Campaign<T> {
         self.jobs.push(job);
     }
 
+    /// Adds a job tagged with the policy id it runs under. The tag is
+    /// written into the job's checkpoint record, and on resume a record
+    /// carrying a *different* tag for this key is discarded and the job
+    /// re-run — a stale checkpoint can never smuggle one policy's
+    /// results under another's key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate key, like [`Campaign::push`].
+    pub fn push_tagged(
+        &mut self,
+        key: impl Into<String>,
+        policy: impl Into<String>,
+        work: impl Fn(u64) -> T + Send + Sync + 'static,
+    ) {
+        let job = Job::new(key, work).with_policy(policy);
+        assert!(
+            self.keys.insert(job.key.clone()),
+            "duplicate job key {:?} in campaign {:?}",
+            job.key,
+            self.name
+        );
+        self.jobs.push(job);
+    }
+
     /// Number of jobs in the campaign.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -261,10 +286,38 @@ impl<T: Send + 'static> Campaign<T> {
             let codec = codec.as_ref().expect("resume requires a payload codec");
             let loaded = checkpoint::load(path, codec)
                 .unwrap_or_else(|e| panic!("cannot read checkpoint {}: {e}", path.display()));
-            let known: HashSet<&str> = jobs.iter().map(|j| j.key.as_str()).collect();
+            let known: std::collections::HashMap<&str, Option<&str>> = jobs
+                .iter()
+                .map(|j| (j.key.as_str(), j.policy.as_deref()))
+                .collect();
             restored = loaded
                 .into_iter()
-                .filter(|r| r.outcome.is_completed() && known.contains(r.key.as_str()))
+                .filter(|r| {
+                    if !r.outcome.is_completed() {
+                        return false;
+                    }
+                    match known.get(r.key.as_str()) {
+                        None => false,
+                        // A policy-tagged job only accepts records that
+                        // carry the same tag; untagged jobs accept any
+                        // record (pre-tag checkpoints stay resumable).
+                        Some(Some(policy)) => {
+                            if r.policy.as_deref() == Some(*policy) {
+                                true
+                            } else {
+                                eprintln!(
+                                    "[runner] dropping checkpoint record {:?}: policy {:?} \
+                                     does not match this campaign's {:?}",
+                                    r.key,
+                                    r.policy.as_deref().unwrap_or("<none>"),
+                                    policy
+                                );
+                                false
+                            }
+                        }
+                        Some(None) => true,
+                    }
+                })
                 .collect();
         }
         let done: HashSet<String> = restored.iter().map(|r| r.key.clone()).collect();
@@ -535,7 +588,7 @@ pub fn scenario_grid(
                 let scenario = scenario.clone();
                 let build = Arc::clone(&policy.build);
                 let sim = sim.clone();
-                campaign.push(key, move |seed| {
+                campaign.push_tagged(key, policy.name.clone(), move |seed| {
                     run_scenario(&scenario, build(seed), &sim, seed)
                 });
             }

@@ -55,6 +55,9 @@ impl<T> std::fmt::Debug for Codec<T> {
 pub fn record_line<T>(record: &JobRecord<T>, codec: &Codec<T>) -> String {
     let mut obj = Value::object();
     obj.set("key", Value::Str(record.key.clone()));
+    if let Some(policy) = &record.policy {
+        obj.set("policy", Value::Str(policy.clone()));
+    }
     obj.set("seed", Value::UInt(record.seed));
     if let Some(metrics) = &record.metrics {
         if !metrics.counters.is_empty() {
@@ -89,6 +92,11 @@ pub fn parse_line<T>(line: &str, codec: &Codec<T>) -> Result<JobRecord<T>, JsonE
         .and_then(Value::as_str)
         .ok_or_else(|| JsonError::new("checkpoint line missing key"))?
         .to_string();
+    // Optional: pre-policy checkpoints simply have no tag.
+    let policy = value
+        .get("policy")
+        .and_then(Value::as_str)
+        .map(String::from);
     let seed = value
         .get("seed")
         .and_then(Value::as_u64)
@@ -130,6 +138,7 @@ pub fn parse_line<T>(line: &str, codec: &Codec<T>) -> Result<JobRecord<T>, JsonE
     };
     Ok(JobRecord {
         key,
+        policy,
         seed,
         attempts: 0,
         duration_ms: 0,
@@ -294,6 +303,7 @@ mod tests {
     fn record(key: &str, seed: u64, outcome: JobOutcome<u64>) -> JobRecord<u64> {
         JobRecord {
             key: key.into(),
+            policy: None,
             seed,
             attempts: 1,
             duration_ms: 12,
@@ -320,6 +330,23 @@ mod tests {
             assert!(back.resumed);
             assert_eq!(back.attempts, 0, "schedule fields not checkpointed");
         }
+    }
+
+    #[test]
+    fn policy_tag_round_trips_and_is_optional() {
+        let codec = u64_codec();
+        let mut rec = record("grid/ucb1/0", 5, JobOutcome::Completed(7));
+        rec.policy = Some("ucb1".into());
+        let line = record_line(&rec, &codec);
+        let back = parse_line(&line, &codec).expect("parse");
+        assert_eq!(back.policy.as_deref(), Some("ucb1"));
+        // Pre-policy lines decode with no tag.
+        let untagged = record_line(&record("k", 1, JobOutcome::Completed(2)), &codec);
+        assert!(!untagged.contains("policy"), "line: {untagged}");
+        assert!(parse_line(&untagged, &codec)
+            .expect("parse")
+            .policy
+            .is_none());
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub struct Job<T> {
     /// Keys are stable across runs: they address checkpoint records and
     /// feed the per-job seed derivation.
     pub key: String,
+    /// The policy id this job runs under, if the campaign is a policy
+    /// grid. Checkpointed alongside the key so a resume can reject a
+    /// record produced under a different policy that happens to share
+    /// the key (e.g. after a `--policy` list was reordered).
+    pub policy: Option<String>,
     /// The work function.
     pub work: Work<T>,
 }
@@ -32,8 +37,15 @@ impl<T> Job<T> {
         assert!(!key.contains('\n'), "job key must be single-line: {key:?}");
         Job {
             key,
+            policy: None,
             work: Arc::new(work),
         }
+    }
+
+    /// Tags the job with the policy id it runs under.
+    pub fn with_policy(mut self, policy: impl Into<String>) -> Self {
+        self.policy = Some(policy.into());
+        self
     }
 }
 
@@ -43,6 +55,7 @@ impl<T> Clone for Job<T> {
     fn clone(&self) -> Self {
         Job {
             key: self.key.clone(),
+            policy: self.policy.clone(),
             work: Arc::clone(&self.work),
         }
     }
@@ -95,6 +108,8 @@ impl<T> JobOutcome<T> {
 pub struct JobRecord<T> {
     /// The job's key.
     pub key: String,
+    /// The policy tag of the job that produced this record, if any.
+    pub policy: Option<String>,
     /// The derived seed the work function received.
     pub seed: u64,
     /// Attempts used (1 = first try; 2 = succeeded/failed on the retry).

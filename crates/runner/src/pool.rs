@@ -219,6 +219,7 @@ pub fn run_jobs<T: Send + 'static>(
                 }
                 let record = JobRecord {
                     key: job.key,
+                    policy: job.policy,
                     seed,
                     attempts,
                     duration_ms: duration.as_millis() as u64,

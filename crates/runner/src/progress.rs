@@ -189,6 +189,7 @@ mod tests {
     fn rec(key: &str, outcome: JobOutcome<u32>, duration_ms: u64, resumed: bool) -> JobRecord<u32> {
         JobRecord {
             key: key.into(),
+            policy: None,
             seed: 0,
             attempts: if resumed { 0 } else { 1 },
             duration_ms,

@@ -121,6 +121,60 @@ fn resume_skips_completed_jobs_and_matches_uninterrupted_run() {
 }
 
 #[test]
+fn resume_rejects_records_from_a_different_policy() {
+    let path = temp_path("resume-policy");
+    std::fs::remove_file(&path).ok();
+
+    let tagged = |policy: &'static str, counter: &Arc<AtomicU32>| {
+        let mut c = Campaign::new("it-policy", 2024).with_codec(u64_codec());
+        for i in 0..6 {
+            let counter = Arc::clone(counter);
+            c.push_tagged(format!("cell/{i}"), policy, move |seed| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                seed
+            });
+        }
+        c
+    };
+
+    // First run checkpoints six records tagged "egreedy".
+    let first = Arc::new(AtomicU32::new(0));
+    tagged("egreedy", &first).run(&RunnerConfig {
+        workers: 2,
+        progress: false,
+        checkpoint: Some(path.clone()),
+        ..RunnerConfig::default()
+    });
+    assert_eq!(first.load(Ordering::Relaxed), 6);
+
+    // Same keys resumed under the same policy: nothing re-runs.
+    let same = Arc::new(AtomicU32::new(0));
+    let report = tagged("egreedy", &same).run(&RunnerConfig {
+        workers: 2,
+        progress: false,
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..RunnerConfig::default()
+    });
+    assert_eq!(same.load(Ordering::Relaxed), 0);
+    assert_eq!(report.stats.resumed, 6);
+
+    // Same keys under a DIFFERENT policy: every record is rejected and
+    // every job re-runs — a stale checkpoint cannot cross-contaminate.
+    let other = Arc::new(AtomicU32::new(0));
+    let report = tagged("ucb1", &other).run(&RunnerConfig {
+        workers: 2,
+        progress: false,
+        checkpoint: Some(path.clone()),
+        resume: true,
+        ..RunnerConfig::default()
+    });
+    assert_eq!(other.load(Ordering::Relaxed), 6);
+    assert_eq!(report.stats.resumed, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn resume_reruns_previously_failed_jobs() {
     let path = temp_path("resume-failed");
     std::fs::remove_file(&path).ok();

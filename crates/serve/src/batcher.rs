@@ -118,6 +118,7 @@ mod tests {
     use crate::session::{BeginOutcome, SessionMode};
     use std::sync::mpsc;
     use thermorl_control::ControlConfig;
+    use thermorl_policy::PolicyId;
 
     const CORES: usize = 4;
 
@@ -153,6 +154,7 @@ mod tests {
                     CORES,
                     CORES,
                     SessionMode::Power,
+                    PolicyId::DasDac14,
                     d as u64,
                     cfg(),
                 ),
@@ -162,6 +164,7 @@ mod tests {
                 CORES,
                 CORES,
                 SessionMode::Power,
+                PolicyId::DasDac14,
                 d as u64,
                 cfg(),
             ));
@@ -222,9 +225,25 @@ mod tests {
         let mut sessions: HashMap<String, Session> = HashMap::new();
         sessions.insert(
             "solo".into(),
-            Session::new("solo", CORES, CORES, SessionMode::Power, 42, cfg()),
+            Session::new(
+                "solo",
+                CORES,
+                CORES,
+                SessionMode::Power,
+                PolicyId::DasDac14,
+                42,
+                cfg(),
+            ),
         );
-        let mut twin = Session::new("solo", CORES, CORES, SessionMode::Power, 42, cfg());
+        let mut twin = Session::new(
+            "solo",
+            CORES,
+            CORES,
+            SessionMode::Power,
+            PolicyId::DasDac14,
+            42,
+            cfg(),
+        );
         let mut batcher = ShardBatcher::new();
         let (tx, _rx) = mpsc::channel();
         for seq in 1..=12u64 {

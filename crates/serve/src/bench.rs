@@ -268,6 +268,7 @@ fn drive_connection(
                 cores: cfg.cores,
                 threads: cfg.cores,
                 mode: "power".into(),
+                policy: None,
             },
         )
         .map_err(|e| e.to_string())?;

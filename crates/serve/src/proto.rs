@@ -111,6 +111,9 @@ pub enum Message {
         threads: usize,
         /// Observation mode: `"power"` or `"temps"`.
         mode: String,
+        /// Policy id from the zoo (`"das_dac14"` when absent — older
+        /// clients keep getting the paper agent).
+        policy: Option<String>,
     },
     /// Server → client: the session is live.
     Attached {
@@ -196,6 +199,7 @@ impl WireMessage for Message {
                 cores,
                 threads,
                 mode,
+                policy,
             } => {
                 v.set("type", Value::Str("attach".into()))
                     .set("protocol", Value::UInt(*protocol))
@@ -203,6 +207,9 @@ impl WireMessage for Message {
                     .set("cores", Value::UInt(*cores as u64))
                     .set("threads", Value::UInt(*threads as u64))
                     .set("mode", Value::Str(mode.clone()));
+                if let Some(policy) = policy {
+                    v.set("policy", Value::Str(policy.clone()));
+                }
             }
             Message::Attached {
                 die,
@@ -305,6 +312,7 @@ impl WireMessage for Message {
                 cores: u64_field(&v, &tag, "cores")? as usize,
                 threads: u64_field(&v, &tag, "threads")? as usize,
                 mode: str_field(&v, &tag, "mode")?,
+                policy: opt_str_field(&v, "policy"),
             }),
             "attached" => Ok(Message::Attached {
                 die: str_field(&v, &tag, "die")?,
@@ -382,6 +390,15 @@ mod tests {
             cores: 4,
             threads: 4,
             mode: "power".into(),
+            policy: None,
+        });
+        round_trip(Message::Attach {
+            protocol: SERVE_PROTOCOL_VERSION,
+            die: "die-3".into(),
+            cores: 4,
+            threads: 4,
+            mode: "power".into(),
+            policy: Some("ucb1".into()),
         });
         round_trip(Message::Attached {
             die: "die-3".into(),

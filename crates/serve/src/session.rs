@@ -1,7 +1,9 @@
-//! One managed die: a Q-learning agent plus its private thermal state.
+//! One managed die: a zoo policy plus its private thermal state.
 //!
 //! A [`Session`] bundles everything the supervisor owns per die: the
-//! DAC'14 controller, an optional RC die model + noisy sensor bank (in
+//! policy (the DAC'14 agent by default, or any other
+//! [`thermorl_policy::PolicyId`] the attach names), an optional RC die
+//! model + noisy sensor bank (in
 //! [`SessionMode::Power`] the client streams per-core watts and the
 //! session simulates the die; in [`SessionMode::Temps`] the client
 //! streams temperatures directly), and the per-die observe sequence
@@ -19,10 +21,11 @@
 //! decisions to one that never went down — the recovery contract the
 //! loopback test enforces.
 
-use thermorl_control::{AgentSnapshot, ControlConfig, DasDac14Controller};
+use thermorl_control::ControlConfig;
 use thermorl_platform::CounterSnapshot;
+use thermorl_policy::{Policy, PolicyId};
 use thermorl_sim::json::Value;
-use thermorl_sim::{Observation, ThermalController};
+use thermorl_sim::Observation;
 use thermorl_thermal::{DieModel, DieParams, Floorplan, SensorBank, SensorParams};
 
 use crate::proto::Decision;
@@ -103,14 +106,15 @@ pub struct Session {
     cores: usize,
     epoch_samples: usize,
     sampling_interval: f64,
-    agent: DasDac14Controller,
+    policy_id: PolicyId,
+    policy: Box<dyn Policy>,
     model: Option<DieModel>,
     sensors: Option<SensorBank>,
     seq: u64,
 }
 
 impl Session {
-    /// Creates a fresh session. `seed` drives the agent's exploration and
+    /// Creates a fresh session. `seed` drives the policy's exploration and
     /// (in power mode) the sensor noise; the same seed always reproduces
     /// the same decision stream for the same observe stream.
     pub fn new(
@@ -118,14 +122,16 @@ impl Session {
         cores: usize,
         threads: usize,
         mode: SessionMode,
+        policy_id: PolicyId,
         seed: u64,
         cfg: ControlConfig,
     ) -> Session {
         let die = die.into();
         let epoch_samples = cfg.epoch_samples;
         let sampling_interval = cfg.sampling_interval;
-        let mut agent = DasDac14Controller::new(cfg, seed).with_name(format!("serve:{die}"));
-        agent.on_start(threads, cores);
+        let mut policy = policy_id.build(cfg, seed);
+        policy.set_name(format!("serve:{die}"));
+        policy.on_start(threads, cores);
         let (model, sensors) = match mode {
             SessionMode::Power => (
                 Some(DieModel::new(
@@ -147,7 +153,8 @@ impl Session {
             cores,
             epoch_samples,
             sampling_interval,
-            agent,
+            policy_id,
+            policy,
             model,
             sensors,
             seq: 0,
@@ -171,7 +178,12 @@ impl Session {
 
     /// Decision epochs completed so far.
     pub fn epochs(&self) -> u64 {
-        self.agent.epochs()
+        self.policy.epochs()
+    }
+
+    /// The policy this session runs.
+    pub fn policy_id(&self) -> PolicyId {
+        self.policy_id
     }
 
     /// Number of cores the session manages.
@@ -287,15 +299,15 @@ impl Session {
             counters: CounterSnapshot::default(),
             core_freq_ghz: &freqs,
         };
-        let actuation = self.agent.on_sample(&obs);
+        let actuation = self.policy.observe(&obs);
         self.seq = seq;
         let decision = actuation.map(|act| {
             let d = self
-                .agent
+                .policy
                 .last_decision()
                 .expect("an actuation implies a recorded epoch decision");
             Decision {
-                epoch: self.agent.epochs(),
+                epoch: self.policy.epochs(),
                 action: d.action as u64,
                 assignment: act.assignment.map(|a| a.name).unwrap_or_default(),
                 governor: act.governor.map(|g| g.to_string()).unwrap_or_default(),
@@ -318,20 +330,25 @@ impl Session {
         self.epoch_samples > 0 && self.seq > 0 && self.seq.is_multiple_of(self.epoch_samples as u64)
     }
 
-    /// Serializes the full mutable state as a JSON object.
+    /// Serializes the full mutable state as a JSON object. The `policy`
+    /// and `cores` fields round-trip the zoo member through recovery;
+    /// snapshots written before the policy zoo carry neither and restore
+    /// as the paper agent.
     pub fn snapshot_value(&self) -> Value {
         let agent = self
-            .agent
+            .policy
             .snapshot()
             .expect("sessions always run on_start in new()");
         let mut v = Value::object();
         v.set("die", Value::Str(self.die.clone()))
             .set("mode", Value::Str(self.mode.as_str().into()))
+            .set("policy", Value::Str(self.policy_id.as_str().into()))
             .set("seed", Value::UInt(self.seed))
             .set("seq", Value::UInt(self.seq))
+            .set("cores", Value::UInt(self.cores as u64))
             .set("epoch_samples", Value::UInt(self.epoch_samples as u64))
             .set("sampling_interval", Value::num(self.sampling_interval))
-            .set("agent", agent.to_value());
+            .set("agent", agent);
         if let Some(model) = &self.model {
             let (temps, powers, ambient) = model.thermal_state();
             let mut thermal = Value::object();
@@ -406,15 +423,30 @@ impl Session {
         let sampling_interval = field("sampling_interval")?
             .as_f64()
             .ok_or("session snapshot: \"sampling_interval\" not a number")?;
-        let agent_snap = AgentSnapshot::from_value(field("agent")?)
-            .map_err(|e| format!("session snapshot: {}", e.0))?;
+        // Pre-zoo snapshots carry no "policy" tag: they are paper agents.
+        let policy_id = match v.get("policy").and_then(Value::as_str) {
+            Some(name) => PolicyId::parse(name)?,
+            None => PolicyId::DasDac14,
+        };
         let cfg = ControlConfig {
             epoch_samples,
             sampling_interval,
             ..ControlConfig::default()
         };
-        let agent = DasDac14Controller::restore(cfg, &agent_snap);
-        let cores = agent_snap.num_cores;
+        let agent_value = field("agent")?;
+        let mut policy = policy_id.build(cfg, seed);
+        policy
+            .restore(agent_value)
+            .map_err(|e| format!("session snapshot: {e}"))?;
+        // Every policy snapshot records its core count; pre-zoo agent
+        // snapshots expose it as "num_cores" inside the agent object.
+        let cores = match v.get("cores").and_then(Value::as_u64) {
+            Some(c) => c as usize,
+            None => agent_value
+                .get("num_cores")
+                .and_then(Value::as_u64)
+                .ok_or("session snapshot missing \"cores\"")? as usize,
+        };
         let (model, sensors) = match mode {
             SessionMode::Power => {
                 let thermal = field("thermal")?;
@@ -456,7 +488,8 @@ impl Session {
             cores,
             epoch_samples,
             sampling_interval,
-            agent,
+            policy_id,
+            policy,
             model,
             sensors,
             seq,
@@ -503,7 +536,15 @@ mod tests {
 
     #[test]
     fn sequence_semantics_duplicate_and_gap() {
-        let mut s = Session::new("d0", 4, 4, SessionMode::Power, 7, test_cfg());
+        let mut s = Session::new(
+            "d0",
+            4,
+            4,
+            SessionMode::Power,
+            PolicyId::DasDac14,
+            7,
+            test_cfg(),
+        );
         let values = vec![5.0; 4];
         assert!(!s.step(1, &values).expect("first").duplicate);
         let dup = s.step(1, &values).expect("retransmit");
@@ -516,7 +557,15 @@ mod tests {
 
     #[test]
     fn decisions_arrive_on_epoch_boundaries() {
-        let mut s = Session::new("d0", 4, 4, SessionMode::Power, 7, test_cfg());
+        let mut s = Session::new(
+            "d0",
+            4,
+            4,
+            SessionMode::Power,
+            PolicyId::DasDac14,
+            7,
+            test_cfg(),
+        );
         let outcomes = drive(&mut s, 1, 10);
         for (i, o) in outcomes.iter().enumerate() {
             let seq = i as u64 + 1;
@@ -533,7 +582,15 @@ mod tests {
     #[test]
     fn snapshot_restore_resumes_bit_identically() {
         let cfg = test_cfg();
-        let mut donor = Session::new("d0", 4, 4, SessionMode::Power, 123, cfg.clone());
+        let mut donor = Session::new(
+            "d0",
+            4,
+            4,
+            SessionMode::Power,
+            PolicyId::DasDac14,
+            123,
+            cfg.clone(),
+        );
         drive(&mut donor, 1, 20); // 4 full epochs
 
         // Snapshot through the JSON wire format, as the store would.
@@ -559,7 +616,7 @@ mod tests {
     #[test]
     fn temps_mode_needs_no_thermal_model() {
         let cfg = test_cfg();
-        let mut donor = Session::new("t0", 4, 2, SessionMode::Temps, 9, cfg);
+        let mut donor = Session::new("t0", 4, 2, SessionMode::Temps, PolicyId::DasDac14, 9, cfg);
         let outcomes: Vec<StepOutcome> = (1..=10)
             .map(|seq| {
                 let t = 55.0 + ((seq * 13) % 7) as f64;

@@ -33,6 +33,7 @@ use std::time::Duration;
 use thermorl_control::ControlConfig;
 use thermorl_dispatch::proto::{read_message, write_message};
 use thermorl_dispatch::CheckpointStore;
+use thermorl_policy::PolicyId;
 use thermorl_runner::{job_seed, shard_of};
 use thermorl_sim::json::Value;
 use thermorl_telemetry as tel;
@@ -643,6 +644,7 @@ fn handle_shard_message(
             cores,
             threads,
             mode,
+            policy,
         } => {
             if protocol != SERVE_PROTOCOL_VERSION {
                 return Message::Error {
@@ -655,10 +657,18 @@ fn handle_shard_message(
                 Ok(m) => m,
                 Err(e) => return Message::Error { message: e },
             };
+            let policy_id = match policy.as_deref().map(PolicyId::parse) {
+                None => PolicyId::DasDac14,
+                Some(Ok(id)) => id,
+                Some(Err(e)) => return Message::Error { message: e },
+            };
             // Re-attach to a live session is idempotent (a reconnecting
             // client learns how far it had got).
             if let Some(session) = sessions.get(&die) {
-                if session.cores() != cores || session.mode() != mode {
+                if session.cores() != cores
+                    || session.mode() != mode
+                    || session.policy_id() != policy_id
+                {
                     return Message::Error {
                         message: format!("die {die:?} is attached with a different shape"),
                     };
@@ -670,21 +680,25 @@ fn handle_shard_message(
                     epochs: session.epochs(),
                 };
             }
-            let (session, resumed) = if let Some(snap) = pending.remove(&die) {
+            // A rejected attach must not consume the snapshot: validate
+            // against the pending entry in place and remove it only once
+            // the restored session is accepted.
+            let (session, resumed) = if let Some(snap) = pending.get(&die) {
                 let restored = snap
                     .get("session")
                     .ok_or_else(|| format!("snapshot for die {die:?} missing session"))
                     .and_then(Session::restore);
                 match restored {
                     Ok(s) => {
-                        if s.cores() != cores || s.mode() != mode {
+                        if s.cores() != cores || s.mode() != mode || s.policy_id() != policy_id {
                             return Message::Error {
                                 message: format!(
                                     "die {die:?} snapshot has a different shape; \
-                                     attach with the original cores/mode or start a fresh store"
+                                     attach with the original cores/mode/policy or start a fresh store"
                                 ),
                             };
                         }
+                        pending.remove(&die);
                         (s, true)
                     }
                     Err(e) => return Message::Error { message: e },
@@ -700,6 +714,7 @@ fn handle_shard_message(
                         cores,
                         threads,
                         mode,
+                        policy_id,
                         job_seed(cfg.seed, &die),
                         session_cfg,
                     ),

@@ -75,12 +75,25 @@ impl Client {
             cores: CORES,
             threads: CORES,
             mode: "power".into(),
+            policy: None,
         }) {
             Message::Attached {
                 resumed, acked_seq, ..
             } => (resumed, acked_seq),
             other => panic!("attach got {other:?}"),
         }
+    }
+
+    /// Attaches `die` in power mode under a named zoo policy.
+    fn attach_policy(&mut self, die: &str, policy: &str) -> Message {
+        self.roundtrip(&Message::Attach {
+            protocol: SERVE_PROTOCOL_VERSION,
+            die: die.into(),
+            cores: CORES,
+            threads: CORES,
+            mode: "power".into(),
+            policy: Some(policy.into()),
+        })
     }
 
     /// Sends one observe; returns the epoch decision if one closed.
@@ -293,6 +306,71 @@ fn metrics_flow_to_stats_json_and_prometheus() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A die attached under a zoo policy keeps that brain across a hard
+/// kill: the snapshot store records the policy id, the restarted
+/// supervisor restores the same contender, and re-attaching under a
+/// different policy (or an unknown one) is rejected instead of silently
+/// swapping brains mid-run.
+#[test]
+fn zoo_policy_attach_survives_restart_and_rejects_mismatch() {
+    let dir = temp_dir("zoo-policy");
+    let store = dir.join("store.jsonl");
+
+    {
+        let handle = Supervisor::spawn(config(&store)).expect("spawn");
+        let mut client = Client::connect(&handle);
+        match client.attach_policy("z", "ucb1") {
+            Message::Attached { resumed: false, .. } => {}
+            other => panic!("fresh zoo attach got {other:?}"),
+        }
+        match client.attach_policy("z", "thompson") {
+            Message::Error { message } => {
+                assert!(message.contains("different shape"), "{message}")
+            }
+            other => panic!("mismatched re-attach got {other:?}"),
+        }
+        match client.attach_policy("z2", "not-a-policy") {
+            Message::Error { message } => {
+                assert!(message.contains("unknown policy"), "{message}")
+            }
+            other => panic!("unknown policy attach got {other:?}"),
+        }
+        for seq in 1..=7u64 {
+            client.roundtrip(&Message::Observe {
+                die: "z".into(),
+                seq,
+                values: power_values(0, seq, CORES),
+                trace: None,
+            });
+        }
+        handle.shutdown(true);
+        handle.join().expect("join");
+    }
+
+    let handle = Supervisor::spawn(config(&store)).expect("respawn");
+    let mut client = Client::connect(&handle);
+    // The snapshot pins the policy: the wrong id cannot adopt the state…
+    match client.attach_policy("z", "egreedy") {
+        Message::Error { message } => assert!(message.contains("shape"), "{message}"),
+        other => panic!("wrong-policy resume got {other:?}"),
+    }
+    // …while the original id resumes from the last epoch snapshot.
+    match client.attach_policy("z", "ucb1") {
+        Message::Attached {
+            resumed: true,
+            acked_seq,
+            ..
+        } => assert!(acked_seq > 0, "snapshot covers the interrupted run"),
+        other => panic!("zoo resume got {other:?}"),
+    }
+    assert_eq!(
+        client.roundtrip(&Message::Shutdown { hard: false }),
+        Message::ShuttingDown
+    );
+    handle.join().expect("join");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The wire error paths: bad protocol, unattached dies, sequence gaps,
 /// retransmits, and shape mismatches all answer cleanly.
 #[test]
@@ -312,6 +390,7 @@ fn protocol_errors_answer_cleanly() {
         cores: CORES,
         threads: CORES,
         mode: "power".into(),
+        policy: None,
     }));
     assert!(msg.contains("protocol mismatch"), "{msg}");
 
@@ -321,6 +400,7 @@ fn protocol_errors_answer_cleanly() {
         cores: CORES,
         threads: CORES,
         mode: "psychic".into(),
+        policy: None,
     }));
     assert!(msg.contains("unknown session mode"), "{msg}");
 
@@ -341,6 +421,7 @@ fn protocol_errors_answer_cleanly() {
         cores: CORES + 1,
         threads: CORES,
         mode: "power".into(),
+        policy: None,
     }));
     assert!(msg.contains("different shape"), "{msg}");
     assert_eq!(client.attach("e"), (true, 0));

@@ -1,11 +1,13 @@
 //! Property tests: a session serialized through its JSON snapshot and
 //! restored is bit-identical to one that was never snapshotted — same
 //! Q-table bits, same sensor noise stream, same thermal state, same
-//! decision stream — across seeds, warmup lengths, epoch lengths, and
-//! both observation modes.
+//! decision stream — across seeds, warmup lengths, epoch lengths, both
+//! observation modes, and every policy in the zoo (the policy id itself
+//! round-trips, so kill -9 recovery resumes the same brain).
 
 use proptest::prelude::*;
 use thermorl_control::ControlConfig;
+use thermorl_policy::PolicyId;
 use thermorl_serve::{Session, SessionMode, StepOutcome};
 use thermorl_sim::json::Value;
 
@@ -33,11 +35,13 @@ proptest! {
         extra in 1u64..25,
         epoch_samples in 2usize..8,
         mode_sel in 0u64..2,
+        policy_sel in 0usize..PolicyId::ALL.len(),
         scale in 2.0f64..9.0,
     ) {
         let mode = if mode_sel == 0 { SessionMode::Power } else { SessionMode::Temps };
+        let policy_id = PolicyId::ALL[policy_sel];
         let cfg = ControlConfig { epoch_samples, ..ControlConfig::default() };
-        let mut donor = Session::new("prop-die", CORES, CORES, mode, seed, cfg);
+        let mut donor = Session::new("prop-die", CORES, CORES, mode, policy_id, seed, cfg);
         drive(&mut donor, 1, warm, scale);
 
         // Serialize through the wire/store JSON format and restore.
@@ -45,6 +49,7 @@ proptest! {
         let parsed = Value::parse(&line).expect("snapshot line parses");
         let mut twin =
             Session::restore(parsed.get("session").expect("session field")).expect("restore");
+        prop_assert_eq!(twin.policy_id(), policy_id);
 
         // The restored state re-serializes byte-identically: Q-table
         // floats, agent and sensor RNG streams, detector windows,
