@@ -24,12 +24,18 @@ cargo test -q -p thermorl-bench --test telemetry_smoke
 echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --workspace --no-run
 
-echo "== bench_thermal --quick --gate (regenerate perf snapshot, 3x regression gate) =="
+echo "== bench_thermal --quick --gate (regenerate perf snapshot, 3x regression gates) =="
+# --gate bounds both die_advance_1s_ns and the large-floorplan
+# 16x16 adaptive_advance_1s_ns at 3x their committed numbers.
 cargo run --release -q -p thermorl-bench --bin bench_thermal -- --quick --gate
 grep -q '"batch"' BENCH_thermal.json \
     || { echo "BENCH_thermal.json missing the batch section"; exit 1; }
+grep -q '"large"' BENCH_thermal.json \
+    || { echo "BENCH_thermal.json missing the large-floorplan sweep"; exit 1; }
+grep -q '"32x32"' BENCH_thermal.json \
+    || { echo "BENCH_thermal.json large sweep missing the 32x32 cell"; exit 1; }
 
-echo "== policy tournament --quick (2 policies x 2 scenarios, leaderboard schema gate) =="
+echo "== policy tournament --quick (2 policies x 3 scenarios incl. grid_4x4, leaderboard schema gate) =="
 rm -f BENCH_tournament.json
 timeout 300 cargo run --release -q -p thermorl-bench --bin tournament -- \
     --quick --quiet --checkpoint "$(mktemp -d)/tournament.jsonl"
@@ -38,7 +44,9 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "thermorl-tournament-v1", doc.get("schema")
 scenarios = doc["scenarios"]
-assert len(scenarios) == 2, f"quick gate expects 2 scenarios, got {len(scenarios)}"
+assert len(scenarios) == 3, f"quick gate expects 3 scenarios, got {len(scenarios)}"
+names = [s["name"] for s in scenarios]
+assert "grid_4x4" in names, f"quick gate expects the grid_4x4 cell, got {names}"
 for s in scenarios:
     assert s["name"], "scenario without a name"
     cells = s["cells"]

@@ -35,7 +35,7 @@ use thermorl_runner::{default_workers, par_for_each_mut};
 use thermorl_sim::json::Value;
 use thermorl_sim::{run_scenario, NullController, SimConfig};
 use thermorl_telemetry as tel;
-use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan, Stepper};
+use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan, Stepper, DENSE_STEADY_LIMIT};
 use thermorl_workload::{alpbench, DataSet, Scenario};
 
 /// `thermal/die_advance_1s` on the growth seed's dense forward-Euler
@@ -181,6 +181,116 @@ fn measure_parallel_fleet(batches: usize, width: usize, iters: u32, reps: u32) -
         reps,
     );
     (batches * width) as f64 * f64::from(ADVANCES_PER_CALL) / ns * 1e9
+}
+
+/// One `large` sweep cell: an N×N grid die stepped by the adaptive
+/// embedded-RK controller under per-advance power churn (every core's
+/// power changes before each `advance(1.0)`, as the engine does every
+/// tick). Past [`DENSE_STEADY_LIMIT`] nodes the die runs matrix-free —
+/// CSR matvecs for the RK stages, Jacobi-CG for the steady solve —
+/// so the sweep shows the crossover from the dense exact propagator to
+/// the sparse path. Returns the JSON cell for `large.grids`.
+fn measure_large_grid(n: usize, iters: u32, reps: u32) -> (Value, f64) {
+    let cores = n * n;
+    let churn = |die: &mut DieModel, round: u64| {
+        for c in 0..cores {
+            die.set_core_power(c, 0.5 + ((round + c as u64) % 5) as f64);
+        }
+    };
+    let mut die = DieModel::new(
+        Floorplan::grid(n, n),
+        DieParams {
+            stepper: Stepper::adaptive(),
+            ..DieParams::default()
+        },
+    );
+    let nodes = die.network().len();
+    churn(&mut die, 0);
+    die.advance(1.0); // warm-up seeds the warm-start dt
+
+    let (steps0, rej0) = (
+        die.network().adaptive_steps(),
+        die.network().step_rejections(),
+    );
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..50u64 {
+        churn(&mut die, i);
+        die.advance(1.0);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let accepted = (die.network().adaptive_steps() - steps0) as f64 / 50.0;
+    let rejected = (die.network().step_rejections() - rej0) as f64 / 50.0;
+
+    // Bigger grids cost proportionally more per advance; shrink the inner
+    // loop so every cell's wall time stays in the same ballpark.
+    let g_iters = (iters / cores as u32).max(20);
+    let mut round = 0u64;
+    let adaptive_ns = median_ns_per_iter(
+        || {
+            churn(&mut die, round);
+            round += 1;
+            die.advance(1.0);
+            std::hint::black_box(die.core_temperature(0));
+        },
+        g_iters,
+        reps,
+    );
+
+    let mut cell = Value::object();
+    cell.set("nodes", Value::UInt(nodes as u64));
+    cell.set(
+        "steady_solver",
+        Value::Str(
+            if nodes > DENSE_STEADY_LIMIT {
+                "matrix-free"
+            } else {
+                "dense"
+            }
+            .into(),
+        ),
+    );
+    cell.set("adaptive_advance_1s_ns", Value::num(adaptive_ns));
+    cell.set("allocs_per_advance", Value::UInt(allocs / 50));
+    cell.set("accepted_steps_per_advance", Value::num(accepted));
+    cell.set("rejected_steps_per_advance", Value::num(rejected));
+
+    // The exact propagator for comparison where its O(n³) setup and
+    // O(n²) step are still tolerable; past 16×16 the build alone would
+    // dwarf the whole sweep, so the largest cell is adaptive-only.
+    if n <= 16 {
+        let mut exact = DieModel::new(
+            Floorplan::grid(n, n),
+            DieParams {
+                stepper: Stepper::Exact,
+                ..DieParams::default()
+            },
+        );
+        churn(&mut exact, 0);
+        let t0 = Instant::now();
+        exact.advance(1.0); // builds expm(-C⁻¹A·dt) and the steady solve
+        let first_ns = t0.elapsed().as_nanos() as f64;
+        let mut round = 0u64;
+        let exact_ns = median_ns_per_iter(
+            || {
+                churn(&mut exact, round);
+                round += 1;
+                exact.advance(1.0);
+                std::hint::black_box(exact.core_temperature(0));
+            },
+            g_iters,
+            reps.min(3),
+        );
+        cell.set("exact_first_advance_ns", Value::num(first_ns));
+        cell.set("exact_advance_1s_ns", Value::num(exact_ns));
+    } else {
+        cell.set(
+            "exact_note",
+            Value::Str(format!(
+                "skipped: exact propagator build is O(n^3) at {nodes} nodes"
+            )),
+        );
+    }
+    (cell, adaptive_ns)
 }
 
 /// Per-call cost of the telemetry macros while recording is off, in
@@ -412,6 +522,77 @@ fn main() {
     par.set("die_advances_per_sec", Value::num(par_rate));
     batch_doc.set("parallel_fleet", par);
     doc.set("batch", batch_doc);
+
+    // Large-floorplan fast path: N×N grids under the adaptive stepper,
+    // crossing from the dense exact regime into sparse matrix-free at
+    // DENSE_STEADY_LIMIT nodes. Telemetry is still off.
+    let mut large_doc = Value::object();
+    large_doc.set(
+        "workload",
+        Value::Str(
+            "NxN grid die, per-advance power churn, adaptive(1e-6,1e-9) advance(1.0 s)".into(),
+        ),
+    );
+    large_doc.set(
+        "dense_steady_limit_nodes",
+        Value::UInt(DENSE_STEADY_LIMIT as u64),
+    );
+    let mut grids = Value::object();
+    let mut adaptive_16_ns = f64::NAN;
+    for n in [2usize, 4, 8, 16, 32] {
+        let (cell, adaptive_ns) = measure_large_grid(n, iters, reps);
+        println!(
+            "large_grid [{n}x{n}, {} nodes, {}]: adaptive {adaptive_ns:.0} ns/advance, \
+             {} allocs, {} accepted / {} rejected steps per advance",
+            cell.get("nodes").and_then(Value::as_f64).unwrap_or(0.0),
+            cell.get("steady_solver")
+                .and_then(Value::as_str)
+                .unwrap_or("?"),
+            cell.get("allocs_per_advance")
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN),
+            cell.get("accepted_steps_per_advance")
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN),
+            cell.get("rejected_steps_per_advance")
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN),
+        );
+        if n == 16 {
+            adaptive_16_ns = adaptive_ns;
+        }
+        grids.set(&format!("{n}x{n}"), cell);
+    }
+    large_doc.set("grids", grids);
+    doc.set("large", large_doc);
+
+    let gate_large_baseline: Option<f64> = committed_doc.as_ref().and_then(|doc| {
+        doc.get("large")
+            .and_then(|l| l.get("grids"))
+            .and_then(|g| g.get("16x16"))
+            .and_then(|c| c.get("adaptive_advance_1s_ns"))
+            .and_then(Value::as_f64)
+    });
+    if let Some(committed) = gate_large_baseline {
+        let ratio = adaptive_16_ns / committed;
+        if ratio > 3.0 {
+            eprintln!(
+                "bench_thermal: GATE FAILED: 16x16 adaptive_advance_1s {adaptive_16_ns:.0} ns \
+                 is {ratio:.2}x the committed {committed:.0} ns (limit 3x); \
+                 {out_path} left untouched"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate: 16x16 adaptive_advance_1s {adaptive_16_ns:.0} ns vs committed \
+             {committed:.0} ns ({ratio:.2}x, limit 3x)"
+        );
+    } else if gate {
+        eprintln!(
+            "bench_thermal: no committed large.grids.16x16.adaptive_advance_1s_ns in \
+             {out_path}; large gate skipped (first run?)"
+        );
+    }
 
     let (counter_ns, span_ns, event_ns, trace_span_ns) = measure_disabled_overhead();
     println!(

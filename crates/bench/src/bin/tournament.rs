@@ -1,13 +1,14 @@
 //! Policy × scenario tournament: every zoo contender (and, optionally,
 //! any paper baseline) against the stress-scenario matrix from
 //! `thermorl-policy` — bursty arrivals, phase changes, ambient swings,
-//! sensor dropouts — run as one resumable `thermorl-runner` campaign.
+//! sensor dropouts, and a 16-core 4×4 grid die — run as one resumable
+//! `thermorl-runner` campaign.
 //!
 //! Writes the machine-readable leaderboard (schema
 //! `thermorl-tournament-v1`) to `BENCH_tournament.json` and prints the
 //! per-scenario table plus the overall ranking.
 //!
-//! Flags: `--quick` (2 policies × 2 scenarios, shortened sims — the CI
+//! Flags: `--quick` (2 policies × 3 scenarios, shortened sims — the CI
 //! smoke gate), `--policy a,b,c` (contender list; zoo ids or paper
 //! slugs; default: the whole zoo), `--reps N` (repetitions per cell,
 //! default 1), `--out PATH` (leaderboard path, default
@@ -43,13 +44,17 @@ struct Setup {
     out: String,
 }
 
-/// The scenario matrix this invocation runs: the full four-way stress
-/// matrix, or its first two scenarios (with shortened sims) under
-/// `--quick`.
+/// The scenario matrix this invocation runs: the full five-way stress
+/// matrix, or — under `--quick` — its first two scenarios plus the
+/// `grid_4x4` large-floorplan cell (with shortened sims), so CI smoke
+/// always covers the adaptive/matrix-free path end-to-end.
 fn matrix(setup: &Setup) -> Vec<TournamentScenario> {
     let mut m = scenario_matrix(SEED, setup.quick);
     if setup.quick {
+        let grid = m.pop().expect("matrix is non-empty");
+        debug_assert_eq!(grid.name, "grid_4x4");
         m.truncate(2);
+        m.push(grid);
     }
     m
 }

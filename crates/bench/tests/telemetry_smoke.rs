@@ -20,7 +20,7 @@ use thermorl_policy::PolicyId;
 use thermorl_runner::{Campaign, RunnerConfig};
 use thermorl_sim::json::Value;
 use thermorl_sim::{run_scenario, Observation, SimConfig, ThermalController};
-use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan};
+use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan, RcNetworkBuilder, Stepper};
 use thermorl_workload::{alpbench, DataSet, Scenario};
 
 /// Batch-width used by [`fleet_job`]; asserted back out of the gauge.
@@ -39,6 +39,24 @@ fn fleet_job(_seed: u64) -> u64 {
         batch.advance(1.0);
     }
     batch.width() as u64
+}
+
+/// Drives the embedded adaptive stepper so its counters and gauge have
+/// something to report: a 500 s first trial step on a ~50 s time
+/// constant is guaranteed to reject at least once before the PI
+/// controller shrinks into the accepted range.
+fn adaptive_job(_seed: u64) -> u64 {
+    let mut b = RcNetworkBuilder::new(25.0);
+    let hot = b.add_node("hot", 50.0);
+    let sink = b.add_node("sink", 200.0);
+    b.connect(hot, sink, 2.0);
+    b.connect_ambient(sink, 4.0);
+    let mut net = b.build().expect("valid network");
+    net.set_power(hot, 15.0);
+    net.advance(500.0, 500.0, Stepper::adaptive());
+    assert!(net.adaptive_steps() >= 1, "adaptive step must accept");
+    assert!(net.step_rejections() >= 1, "oversized step must reject");
+    net.adaptive_steps() + net.step_rejections()
 }
 
 /// A real two-application scenario under the proposed RL policy: exercises
@@ -142,6 +160,7 @@ fn telemetry_export_meets_acceptance_criteria() {
     campaign.push("smoke/sim/0", sim_job);
     campaign.push("smoke/detect/0", detect_job);
     campaign.push("smoke/fleet/0", fleet_job);
+    campaign.push("smoke/adaptive/0", adaptive_job);
     campaign.push("smoke/zoo/0", zoo_job);
     let config = RunnerConfig {
         workers: 2,
@@ -200,6 +219,33 @@ fn telemetry_export_meets_acceptance_criteria() {
         "thermal.batch_width gauge should be {FLEET_WIDTH}, got {batch_width}"
     );
 
+    // Adaptive stepping: the embedded-RK controller's accepted/rejected
+    // step counters and its live step-size gauge, in the JSON snapshot...
+    let adaptive_steps = doc
+        .get("counters")
+        .and_then(|c| c.get("thermal.adaptive_steps"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(
+        adaptive_steps >= 1,
+        "thermal.adaptive_steps missing or zero"
+    );
+    let rejections = doc
+        .get("counters")
+        .and_then(|c| c.get("thermal.step_rejections"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    assert!(rejections >= 1, "thermal.step_rejections missing or zero");
+    let dt_current = doc
+        .get("gauges")
+        .and_then(|g| g.get("thermal.dt_current"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    assert!(
+        dt_current > 0.0,
+        "thermal.dt_current gauge should be positive, got {dt_current}"
+    );
+
     // ...and in the Prometheus rendering of the live registry (names
     // sanitized `.` -> `_`).
     let prom = thermorl_telemetry::snapshot().to_prometheus();
@@ -210,6 +256,14 @@ fn telemetry_export_meets_acceptance_criteria() {
     assert!(
         prom.contains(&format!("thermal_batch_width {FLEET_WIDTH}")),
         "prometheus export missing thermal_batch_width gauge:\n{prom}"
+    );
+    assert!(
+        prom.contains("# TYPE thermal_adaptive_steps counter"),
+        "prometheus export missing thermal_adaptive_steps counter"
+    );
+    assert!(
+        prom.contains("thermal_dt_current "),
+        "prometheus export missing thermal_dt_current gauge:\n{prom}"
     );
 
     // Per-policy decision counters: each zoo contender that decided an

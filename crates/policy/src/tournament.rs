@@ -1,16 +1,17 @@
 //! The scenario tournament: a policy × scenario stress matrix.
 //!
 //! Convergence on one friendly trace says little about a policy; the
-//! tournament pits every zoo member against four stress scenarios —
-//! bursty arrivals, phase-changing workloads, ambient swings, and
-//! degraded sensors — and folds per-cell MTTF/energy/IPS into a
+//! tournament pits every zoo member against five stress scenarios —
+//! bursty arrivals, phase-changing workloads, ambient swings, degraded
+//! sensors, and a 16-core 4×4 grid die on the large-floorplan fast
+//! path — and folds per-cell MTTF/energy/IPS into a
 //! normalised leaderboard. The module is pure data + scoring: the
 //! campaign driver (keys, checkpoints, shards) lives in the bench
 //! `tournament` binary on top of `thermorl-runner`.
 
 use thermorl_sim::json::Value;
 use thermorl_sim::{AmbientProfile, RunOutcome, SimConfig};
-use thermorl_thermal::SensorParams;
+use thermorl_thermal::{Floorplan, SensorParams, Stepper};
 use thermorl_workload::{Scenario, SyntheticGenerator, SyntheticSpace};
 
 /// MTTF values are clamped here (years) so leaderboard JSON stays
@@ -51,7 +52,7 @@ fn apps(space: SyntheticSpace, seed: u64, n: usize) -> Scenario {
     Scenario::new(SyntheticGenerator::with_space(space, seed).apps(n))
 }
 
-/// The standard four-scenario stress matrix, derived deterministically
+/// The standard five-scenario stress matrix, derived deterministically
 /// from `seed`. `quick` shortens each cell's simulated-time cap for CI
 /// smoke runs; the workloads themselves are identical.
 pub fn scenario_matrix(seed: u64, quick: bool) -> Vec<TournamentScenario> {
@@ -123,11 +124,23 @@ pub fn scenario_matrix(seed: u64, quick: bool) -> Vec<TournamentScenario> {
                 min_reading: 0.0,
                 max_reading: 75.0,
             },
-            ..base
+            ..base.clone()
         },
     );
 
-    vec![bursty, phase, ambient, dropout]
+    // Large floorplan: the steady workload on a 16-core 4×4 grid die
+    // under the `Auto` stepper, so the tournament exercises the
+    // large-floorplan fast path (adaptive embedded-RK with the
+    // exact-propagator crossover) end-to-end, not just in microbenches.
+    let mut grid_sim = SimConfig {
+        floorplan: Some(Floorplan::grid(4, 4)),
+        ..base
+    };
+    grid_sim.machine.scheduler.num_cores = 16;
+    grid_sim.die.stepper = Stepper::Auto;
+    let grid = named("grid_4x4", apps(steady_space, seed ^ 0x6D44, 3), grid_sim);
+
+    vec![bursty, phase, ambient, dropout, grid]
 }
 
 /// One tournament cell: a (scenario, policy) pair's summary metrics,
@@ -333,9 +346,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn matrix_has_four_key_safe_scenarios() {
+    fn matrix_has_five_key_safe_scenarios() {
         let matrix = scenario_matrix(7, false);
-        assert_eq!(matrix.len(), 4);
+        assert_eq!(matrix.len(), 5);
         let names: Vec<&str> = matrix.iter().map(|s| s.name.as_str()).collect();
         for (i, n) in names.iter().enumerate() {
             assert!(!n.contains('/'), "scenario name {n:?} breaks job keys");

@@ -32,7 +32,7 @@ pub fn run_concurrent(
     assert!(!apps.is_empty(), "need at least one application");
     assert!(config.tick > 0.0, "tick must be positive");
     let num_cores = config.machine.scheduler.num_cores;
-    let mut die = DieModel::new(crate::engine::floorplan_for(num_cores), config.die);
+    let mut die = DieModel::new(config.resolved_floorplan(), config.die);
     let mut machine = Machine::new(config.machine.clone(), seed);
     let mut metrics_sensors = SensorBank::new(num_cores, config.sensor, seed ^ 0x11AA);
     let mut controller_sensors = SensorBank::new(num_cores, config.sensor, seed ^ 0x22BB);

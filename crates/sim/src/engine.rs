@@ -39,6 +39,12 @@ pub struct SimConfig {
     /// Ambient-temperature evolution; `None` keeps the die's configured
     /// constant ambient.
     pub ambient: Option<AmbientProfile>,
+    /// Die floorplan override; `None` derives one from the core count
+    /// (the paper's 2×2 quad for four cores, a 1×N strip otherwise).
+    /// Must have exactly `machine.scheduler.num_cores` cores when set —
+    /// the hook large-floorplan scenarios (N×N grids) use to replace the
+    /// default strip.
+    pub floorplan: Option<Floorplan>,
 }
 
 impl Default for SimConfig {
@@ -53,6 +59,7 @@ impl Default for SimConfig {
             max_sim_time: 7200.0,
             record_trace: false,
             ambient: None,
+            floorplan: None,
         }
     }
 }
@@ -64,6 +71,31 @@ impl SimConfig {
     pub fn with_stepper(mut self, stepper: thermorl_thermal::Stepper) -> Self {
         self.die.stepper = stepper;
         self
+    }
+
+    /// The floorplan this config simulates: the explicit override when
+    /// set, otherwise the default shape for the scheduler's core count.
+    /// Shared by [`Simulation::new`] and [`crate::run_concurrent`] so
+    /// both engines simulate the same silicon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an override's core count disagrees with
+    /// `machine.scheduler.num_cores`.
+    pub fn resolved_floorplan(&self) -> Floorplan {
+        let num_cores = self.machine.scheduler.num_cores;
+        match self.floorplan {
+            Some(fp) => {
+                assert_eq!(
+                    fp.num_cores(),
+                    num_cores,
+                    "floorplan override has {} cores but the scheduler expects {num_cores}",
+                    fp.num_cores()
+                );
+                fp
+            }
+            None => floorplan_for(num_cores),
+        }
     }
 }
 
@@ -124,7 +156,7 @@ impl Simulation {
             "metrics interval must be at least one tick"
         );
         let num_cores = config.machine.scheduler.num_cores;
-        let mut die = DieModel::new(floorplan_for(num_cores), config.die);
+        let mut die = DieModel::new(config.resolved_floorplan(), config.die);
         if let Some(profile) = &config.ambient {
             die.set_ambient(profile.at(0.0));
         }

@@ -27,7 +27,7 @@ use std::fmt;
 
 use thermorl_platform::CounterSnapshot;
 use thermorl_reliability::ThermalProfile;
-use thermorl_thermal::{DieParams, Stepper};
+use thermorl_thermal::{DieParams, HeteroMix, Stepper};
 
 use crate::metrics::{AppResult, RunOutcome};
 
@@ -599,9 +599,37 @@ impl RunOutcome {
     }
 }
 
+fn hetero_to_json(h: &HeteroMix) -> Value {
+    let mut v = Value::object();
+    v.set("big_cores", Value::UInt(h.big_cores as u64));
+    v.set("big_capacitance_scale", Value::num(h.big_capacitance_scale));
+    v.set("big_conductance_scale", Value::num(h.big_conductance_scale));
+    v.set(
+        "little_capacitance_scale",
+        Value::num(h.little_capacitance_scale),
+    );
+    v.set(
+        "little_conductance_scale",
+        Value::num(h.little_conductance_scale),
+    );
+    v
+}
+
+fn hetero_from_json(v: &Value) -> Result<HeteroMix, JsonError> {
+    Ok(HeteroMix {
+        big_cores: get_u64(v, "big_cores")? as usize,
+        big_capacitance_scale: get_f64(v, "big_capacitance_scale")?,
+        big_conductance_scale: get_f64(v, "big_conductance_scale")?,
+        little_capacitance_scale: get_f64(v, "little_capacitance_scale")?,
+        little_conductance_scale: get_f64(v, "little_conductance_scale")?,
+    })
+}
+
 /// Encodes [`DieParams`] as a JSON [`Value`] — the thermal-package half of
 /// an experiment config. The stepper is stored under its
-/// [`std::fmt::Display`] name (`"exact"`, `"rk4"`, `"forward-euler"`).
+/// [`std::fmt::Display`] name (`"exact"`, `"rk4"`, `"forward-euler"`,
+/// `"adaptive:REL:ABS"`, `"auto"`); a heterogeneous big.LITTLE mix, when
+/// present, is stored as a nested `hetero` object.
 pub fn die_params_to_json(p: &DieParams) -> Value {
     let mut v = Value::object();
     v.set("core_capacitance", Value::num(p.core_capacitance));
@@ -614,12 +642,17 @@ pub fn die_params_to_json(p: &DieParams) -> Value {
     v.set("ambient", Value::num(p.ambient));
     v.set("sim_dt", Value::num(p.sim_dt));
     v.set("stepper", Value::Str(p.stepper.to_string()));
+    match &p.hetero {
+        Some(h) => v.set("hetero", hetero_to_json(h)),
+        None => v.set("hetero", Value::Null),
+    };
     v
 }
 
 /// Decodes [`DieParams`] previously produced by [`die_params_to_json`].
-/// A missing `stepper` field falls back to the default ([`Stepper::Exact`]),
-/// so configs written before the exact propagator landed keep loading.
+/// A missing `stepper` field falls back to the default ([`Stepper::Exact`])
+/// and a missing/`null` `hetero` field to a homogeneous die, so configs
+/// written before those features landed keep loading.
 pub fn die_params_from_json(v: &Value) -> Result<DieParams, JsonError> {
     let stepper = match v.get("stepper") {
         None | Some(Value::Null) => Stepper::default(),
@@ -628,6 +661,10 @@ pub fn die_params_from_json(v: &Value) -> Result<DieParams, JsonError> {
             .ok_or_else(|| JsonError("stepper must be a string".into()))?
             .parse::<Stepper>()
             .map_err(JsonError)?,
+    };
+    let hetero = match v.get("hetero") {
+        None | Some(Value::Null) => None,
+        Some(h) => Some(hetero_from_json(h)?),
     };
     Ok(DieParams {
         core_capacitance: get_f64(v, "core_capacitance")?,
@@ -640,6 +677,7 @@ pub fn die_params_from_json(v: &Value) -> Result<DieParams, JsonError> {
         ambient: get_f64(v, "ambient")?,
         sim_dt: get_f64(v, "sim_dt")?,
         stepper,
+        hetero,
     })
 }
 
@@ -754,7 +792,17 @@ mod tests {
 
     #[test]
     fn die_params_round_trip_all_steppers() {
-        for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+        for stepper in [
+            Stepper::ForwardEuler,
+            Stepper::Rk4,
+            Stepper::Exact,
+            Stepper::adaptive(),
+            Stepper::Adaptive {
+                rel_tol: 3.5e-7,
+                abs_tol: 1e-10,
+            },
+            Stepper::Auto,
+        ] {
             let p = DieParams {
                 stepper,
                 sim_dt: 0.02,
@@ -765,6 +813,24 @@ mod tests {
             let back = die_params_from_json(&Value::parse(&line).expect("parse")).expect("decode");
             assert_eq!(p, back);
         }
+    }
+
+    #[test]
+    fn die_params_round_trip_hetero_mix() {
+        let p = DieParams {
+            hetero: Some(HeteroMix::big_little(2)),
+            stepper: Stepper::Auto,
+            ..DieParams::default()
+        };
+        let line = die_params_to_json(&p).to_json();
+        let back = die_params_from_json(&Value::parse(&line).expect("parse")).expect("decode");
+        assert_eq!(p, back);
+        // Missing hetero (legacy config) decodes as homogeneous.
+        let mut v = die_params_to_json(&DieParams::default());
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "hetero");
+        }
+        assert_eq!(die_params_from_json(&v).expect("decode").hetero, None);
     }
 
     #[test]

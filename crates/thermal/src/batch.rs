@@ -2,7 +2,7 @@
 //! with one propagator GEMM.
 //!
 //! A [`NetworkBatch`] holds N dies that share one network *structure*
-//! (capacitances, conductance graph, steady-state LU) but carry
+//! (capacitances, conductance graph, steady-state solver) but carry
 //! independent *state* (temperatures, powers, ambient). State lives in
 //! contiguous node-major buffers — entry `(node, die)` at
 //! `buf[node * width + die]` — so the exact stepper advances every die at
@@ -16,24 +16,33 @@
 //! `E = exp(-C⁻¹A·dt)` and the build-time LU across the whole batch
 //! instead of paying one matrix–vector pass per die.
 //!
+//! [`Stepper::Adaptive`] runs the same embedded Dormand–Prince 5(4)
+//! kernel as the scalar path, one die at a time against gathered
+//! per-die columns, each die carrying its own warm-start step size.
+//! [`Stepper::Auto`] resolves once per advance for the whole fleet from
+//! the prototype's crossover rule fed with batch-level churn counters.
+//!
 //! **Bit-exactness is a hard contract**: a die advanced inside a batch
 //! produces bit-for-bit the temperatures of the same die advanced alone
 //! through [`RcNetwork::advance`] (pinned by the `batch_agrees_with_scalar`
 //! proptest). Every batch operation is either elementwise or accumulates
-//! in the same order as its scalar counterpart, and the propagator/LU are
-//! built by the same code paths. This is what lets the serve layer route
-//! sessions through a shard-wide batch while keeping snapshots, and the
-//! campaign runner keep checkpoints, byte-identical.
+//! in the same order as its scalar counterpart, and the propagator/steady
+//! solver and the adaptive kernel are the same code paths. This is what
+//! lets the serve layer route sessions through a shard-wide batch while
+//! keeping snapshots, and the campaign runner keep checkpoints,
+//! byte-identical.
 //!
 //! **Dirty-column rule**: changing one die's power or ambient marks only
-//! that die's column of the cached steady state dirty; the next exact
-//! step refreshes exactly the dirty columns (one LU solve each). A step
-//! size change rebuilds the shared propagator and re-dirties every
-//! column, mirroring the scalar cache.
+//! that die's column of the cached steady state (and injection vector)
+//! dirty; the next exact step refreshes exactly the dirty columns (one
+//! steady solve each). A step size change rebuilds the shared propagator
+//! and re-dirties every column, mirroring the scalar cache.
 
 use crate::floorplan::DieModel;
 use crate::linalg::Matrix;
 use crate::network::{NodeId, RcNetwork};
+use crate::rk::{self, DormandPrince54, MAX_RK_STAGES};
+use crate::sparse::CgScratch;
 use crate::stepper::Stepper;
 
 /// The shared exact propagator for one step size (one matrix for the
@@ -45,20 +54,31 @@ struct BatchExactCache {
     propagator: Matrix,
 }
 
-/// Preallocated batch stepper scratch (all buffers `nodes × width`,
-/// except the per-column solve scratch `rhs`/`col` of length `nodes`),
-/// so batched stepping never touches the heap once the propagator for
-/// the current step size is cached.
+/// Preallocated batch stepper scratch, so batched stepping never touches
+/// the heap once the propagator for the current step size is cached.
+/// `k1..k4` and `tmp`/`t0` are `nodes × width` (the explicit steppers
+/// sweep every die at once); `k5..k7`, `ya`, `inj` and the steady-solve
+/// scratch are single columns of length `nodes` (the adaptive kernel
+/// gathers one die at a time, reusing prefixes of the wide buffers for
+/// its first stages).
 #[derive(Debug, Clone, Default)]
 struct BatchWorkspace {
     k1: Vec<f64>,
     k2: Vec<f64>,
     k3: Vec<f64>,
     k4: Vec<f64>,
+    k5: Vec<f64>,
+    k6: Vec<f64>,
+    k7: Vec<f64>,
     tmp: Vec<f64>,
     t0: Vec<f64>,
+    /// One die's gathered temperatures (adaptive integration state).
+    ya: Vec<f64>,
+    /// One die's gathered injection column `P_i + g_amb_i·T_amb`.
+    inj: Vec<f64>,
     rhs: Vec<f64>,
     col: Vec<f64>,
+    cg: CgScratch,
 }
 
 impl BatchWorkspace {
@@ -68,10 +88,16 @@ impl BatchWorkspace {
             k2: vec![0.0; nodes * width],
             k3: vec![0.0; nodes * width],
             k4: vec![0.0; nodes * width],
+            k5: vec![0.0; nodes],
+            k6: vec![0.0; nodes],
+            k7: vec![0.0; nodes],
             tmp: vec![0.0; nodes * width],
             t0: vec![0.0; nodes * width],
+            ya: vec![0.0; nodes],
+            inj: vec![0.0; nodes],
             rhs: vec![0.0; nodes],
             col: vec![0.0; nodes],
+            cg: CgScratch::with_len(nodes),
         }
     }
 }
@@ -80,7 +106,8 @@ impl BatchWorkspace {
 #[derive(Debug, Clone)]
 pub struct NetworkBatch {
     /// Prototype network carrying the shared structure (CSR graph,
-    /// capacitances, steady-state LU). Its own state vectors are unused.
+    /// capacitances, steady-state solver). Its own state vectors are
+    /// unused.
     proto: RcNetwork,
     width: usize,
     nodes: usize,
@@ -90,41 +117,44 @@ pub struct NetworkBatch {
     powers: Vec<f64>,
     /// Per-die ambient temperature (°C).
     ambient: Vec<f64>,
+    /// Cached per-node injection `P_i + g_amb_i·T_amb`, node-major;
+    /// column `d` is valid iff `inject_dirty[d]` is false.
+    inject: Vec<f64>,
     /// Per-die steady-state temperatures, node-major; column `d` is valid
     /// iff `steady_dirty[d]` is false.
     t_ss: Vec<f64>,
     /// Which dies changed power/ambient since their last steady refresh.
     steady_dirty: Vec<bool>,
+    /// Which dies changed power/ambient since their last inject refresh.
+    inject_dirty: Vec<bool>,
+    /// Per-die adaptive warm-start step size (the scalar `adaptive_dt`).
+    adaptive_dt: Vec<Option<f64>>,
     exact: Option<BatchExactCache>,
     ws: BatchWorkspace,
     propagator_builds: u64,
     steady_refreshes: u64,
+    adaptive_steps: u64,
+    step_rejections: u64,
+    /// Fleet-level churn history feeding the shared `Auto` crossover rule.
+    auto_advances: u64,
+    auto_dirty_advances: u64,
 }
 
 /// One O(nnz·width) CSR sweep computing dT/dt for every (node, die); the
 /// per-element expression shape is identical to the scalar
-/// `RcNetwork::derivative`, so each die's slopes match bit-for-bit.
-#[allow(clippy::too_many_arguments)] // explicit slices keep borrows disjoint
-fn batch_derivative(
-    proto: &RcNetwork,
-    powers: &[f64],
-    ambient: &[f64],
-    width: usize,
-    t: &[f64],
-    out: &mut [f64],
-) {
+/// `OdeView::derivative`, so each die's slopes match bit-for-bit.
+fn batch_derivative(proto: &RcNetwork, inject: &[f64], width: usize, t: &[f64], out: &mut [f64]) {
     let n = proto.len();
     for i in 0..n {
-        let g_amb = proto.ambient_conductance[i];
         let diag = proto.diag_g[i];
-        let cap = proto.capacitance[i];
+        let inv_cap = proto.inv_capacitance[i];
         let base = i * width;
         for d in 0..width {
-            let mut q = powers[base + d] + g_amb * ambient[d] - diag * t[base + d];
+            let mut q = inject[base + d] - diag * t[base + d];
             for k in proto.row_ptr[i]..proto.row_ptr[i + 1] {
                 q += proto.edge_g[k] * t[proto.col_idx[k] * width + d];
             }
-            out[base + d] = q / cap;
+            out[base + d] = q * inv_cap;
         }
     }
 }
@@ -153,12 +183,19 @@ impl NetworkBatch {
             temps,
             powers,
             ambient: vec![proto.ambient(); width],
+            inject: vec![0.0; nodes * width],
             t_ss: vec![0.0; nodes * width],
             steady_dirty: vec![true; width],
+            inject_dirty: vec![true; width],
+            adaptive_dt: vec![None; width],
             exact: None,
             ws: BatchWorkspace::new(nodes, width),
             propagator_builds: 0,
             steady_refreshes: 0,
+            adaptive_steps: 0,
+            step_rejections: 0,
+            auto_advances: 0,
+            auto_dirty_advances: 0,
         }
     }
 
@@ -178,14 +215,32 @@ impl NetworkBatch {
         self.propagator_builds
     }
 
-    /// How many per-die steady-state columns have been refreshed (one LU
-    /// solve each, triggered by that die's power/ambient changes).
+    /// How many per-die steady-state columns have been refreshed (one
+    /// steady solve each, triggered by that die's power/ambient changes).
     pub fn steady_refreshes(&self) -> u64 {
         self.steady_refreshes
     }
 
+    /// Accepted adaptive steps summed over all dies and advances.
+    pub fn adaptive_steps(&self) -> u64 {
+        self.adaptive_steps
+    }
+
+    /// Rejected (retried) adaptive step attempts summed over all dies.
+    pub fn step_rejections(&self) -> u64 {
+        self.step_rejections
+    }
+
+    /// What [`Stepper::Auto`] resolves to for this fleet right now, from
+    /// the prototype's crossover rule and batch-level churn history.
+    pub fn resolve_auto(&self) -> Stepper {
+        self.proto
+            .auto_choice(self.auto_advances, self.auto_dirty_advances)
+    }
+
     /// Sets the power (W) injected into one node of one die; marks only
-    /// that die's steady-state column dirty (no-op if unchanged).
+    /// that die's steady-state and injection columns dirty (no-op if
+    /// unchanged).
     ///
     /// # Panics
     ///
@@ -196,6 +251,7 @@ impl NetworkBatch {
         if self.powers[idx] != watts {
             self.powers[idx] = watts;
             self.steady_dirty[die] = true;
+            self.inject_dirty[die] = true;
         }
     }
 
@@ -205,7 +261,7 @@ impl NetworkBatch {
     }
 
     /// Sets one die's ambient temperature (°C); marks only that die's
-    /// steady-state column dirty (no-op if unchanged).
+    /// steady-state and injection columns dirty (no-op if unchanged).
     ///
     /// # Panics
     ///
@@ -215,6 +271,7 @@ impl NetworkBatch {
         if self.ambient[die] != ambient_c {
             self.ambient[die] = ambient_c;
             self.steady_dirty[die] = true;
+            self.inject_dirty[die] = true;
         }
     }
 
@@ -253,6 +310,22 @@ impl NetworkBatch {
         }
     }
 
+    /// Refreshes the cached injection columns of every dirty die — the
+    /// batched counterpart of the scalar inject refresh, same expression,
+    /// so the gathered columns match the scalar buffer bit-for-bit.
+    fn refresh_inject(&mut self) {
+        for die in 0..self.width {
+            if !self.inject_dirty[die] {
+                continue;
+            }
+            for i in 0..self.nodes {
+                self.inject[i * self.width + die] = self.powers[i * self.width + die]
+                    + self.proto.ambient_conductance[i] * self.ambient[die];
+            }
+            self.inject_dirty[die] = false;
+        }
+    }
+
     /// Rebuilds the shared propagator if the cached one was built for a
     /// different step size; a rebuild re-dirties every steady column,
     /// mirroring the scalar cache.
@@ -276,16 +349,28 @@ impl NetworkBatch {
 
     /// Advances every die by a single step of `dt` seconds.
     ///
-    /// Identical semantics to [`RcNetwork::step`] applied to each die;
-    /// no step allocates once the exact propagator for `dt` is cached.
+    /// Identical semantics to [`RcNetwork::step`] applied to each die
+    /// ([`Stepper::Adaptive`] treats `dt` as a whole span and subdivides
+    /// it under error control); no step allocates once the exact
+    /// propagator for `dt` is cached.
     pub fn step(&mut self, dt: f64, stepper: Stepper) {
+        match stepper {
+            Stepper::Adaptive { rel_tol, abs_tol } => {
+                return self.advance_adaptive(dt, dt, rel_tol, abs_tol);
+            }
+            Stepper::Auto => {
+                let resolved = self.resolve_auto();
+                return self.step(dt, resolved);
+            }
+            _ => {}
+        }
+        self.refresh_inject();
         let mut ws = std::mem::take(&mut self.ws);
         match stepper {
             Stepper::ForwardEuler => {
                 batch_derivative(
                     &self.proto,
-                    &self.powers,
-                    &self.ambient,
+                    &self.inject,
                     self.width,
                     &self.temps,
                     &mut ws.k1,
@@ -296,47 +381,19 @@ impl NetworkBatch {
             }
             Stepper::Rk4 => {
                 ws.t0.copy_from_slice(&self.temps);
-                batch_derivative(
-                    &self.proto,
-                    &self.powers,
-                    &self.ambient,
-                    self.width,
-                    &ws.t0,
-                    &mut ws.k1,
-                );
+                batch_derivative(&self.proto, &self.inject, self.width, &ws.t0, &mut ws.k1);
                 for i in 0..ws.t0.len() {
                     ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k1[i];
                 }
-                batch_derivative(
-                    &self.proto,
-                    &self.powers,
-                    &self.ambient,
-                    self.width,
-                    &ws.tmp,
-                    &mut ws.k2,
-                );
+                batch_derivative(&self.proto, &self.inject, self.width, &ws.tmp, &mut ws.k2);
                 for i in 0..ws.t0.len() {
                     ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k2[i];
                 }
-                batch_derivative(
-                    &self.proto,
-                    &self.powers,
-                    &self.ambient,
-                    self.width,
-                    &ws.tmp,
-                    &mut ws.k3,
-                );
+                batch_derivative(&self.proto, &self.inject, self.width, &ws.tmp, &mut ws.k3);
                 for i in 0..ws.t0.len() {
                     ws.tmp[i] = ws.t0[i] + dt * ws.k3[i];
                 }
-                batch_derivative(
-                    &self.proto,
-                    &self.powers,
-                    &self.ambient,
-                    self.width,
-                    &ws.tmp,
-                    &mut ws.k4,
-                );
+                batch_derivative(&self.proto, &self.inject, self.width, &ws.tmp, &mut ws.k4);
                 for i in 0..ws.t0.len() {
                     self.temps[i] = ws.t0[i]
                         + dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
@@ -346,7 +403,8 @@ impl NetworkBatch {
                 self.ensure_exact_cache(dt);
                 let cache = self.exact.take().expect("cache ensured above");
                 // Refresh exactly the dirty steady-state columns: build
-                // that die's rhs, one LU solve, scatter the column back.
+                // that die's rhs, one steady solve, scatter the column
+                // back.
                 for die in 0..self.width {
                     if !self.steady_dirty[die] {
                         continue;
@@ -355,7 +413,8 @@ impl NetworkBatch {
                         ws.rhs[i] = self.powers[i * self.width + die]
                             + self.proto.ambient_conductance[i] * self.ambient[die];
                     }
-                    self.proto.lu.solve_into(&ws.rhs, &mut ws.col);
+                    self.proto
+                        .solve_steady_into(&ws.rhs, &mut ws.col, &mut ws.cg);
                     for i in 0..self.nodes {
                         self.t_ss[i * self.width + die] = ws.col[i];
                     }
@@ -375,8 +434,80 @@ impl NetworkBatch {
                 }
                 self.exact = Some(cache);
             }
+            Stepper::Adaptive { .. } | Stepper::Auto => unreachable!("handled above"),
         }
         self.ws = ws;
+    }
+
+    /// Advances every die by `duration` seconds under the embedded
+    /// Dormand–Prince 5(4) pair — one gathered column at a time through
+    /// the *same* kernel as [`RcNetwork::advance`], so each die's result
+    /// is bit-identical to advancing it alone. Each die keeps its own
+    /// warm-start step size.
+    fn advance_adaptive(&mut self, duration: f64, dt_hint: f64, rel_tol: f64, abs_tol: f64) {
+        if duration <= 0.0 {
+            return;
+        }
+        self.refresh_inject();
+        let mut ws = std::mem::take(&mut self.ws);
+        let n = self.nodes;
+        let ode = self.proto.ode_view();
+        let mut stages: [&mut [f64]; MAX_RK_STAGES] = [
+            &mut ws.k1[..n],
+            &mut ws.k2[..n],
+            &mut ws.k3[..n],
+            &mut ws.k4[..n],
+            &mut ws.k5,
+            &mut ws.k6,
+            &mut ws.k7,
+        ];
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut dt_last = dt_hint;
+        for die in 0..self.width {
+            for i in 0..n {
+                ws.ya[i] = self.temps[i * self.width + die];
+                ws.inj[i] = self.inject[i * self.width + die];
+            }
+            let dt0 = self.adaptive_dt[die].unwrap_or(dt_hint);
+            let stats = rk::integrate::<DormandPrince54>(
+                &ode,
+                &ws.inj,
+                &mut ws.ya,
+                duration,
+                dt0,
+                rel_tol,
+                abs_tol,
+                &mut stages,
+                &mut ws.tmp[..n],
+                &mut ws.t0[..n],
+            );
+            for i in 0..n {
+                self.temps[i * self.width + die] = ws.ya[i];
+            }
+            self.adaptive_dt[die] = Some(stats.dt_next);
+            accepted += stats.accepted;
+            rejected += stats.rejected;
+            dt_last = stats.dt_next;
+        }
+        self.adaptive_steps += accepted;
+        self.step_rejections += rejected;
+        thermorl_telemetry::counter!("thermal.adaptive_steps", accepted);
+        thermorl_telemetry::counter!("thermal.step_rejections", rejected);
+        thermorl_telemetry::gauge!("thermal.dt_current", dt_last);
+        self.ws = ws;
+    }
+
+    /// Records one advance of fleet churn history and resolves `Auto` —
+    /// the batched [`RcNetwork`] auto resolution, with "churned" meaning
+    /// *any* die saw a power/ambient change since the last advance.
+    fn resolve_auto_advance(&mut self) -> Stepper {
+        self.auto_advances += 1;
+        let churned = (0..self.width).any(|d| self.steady_dirty[d] && self.inject_dirty[d]);
+        if churned {
+            self.auto_dirty_advances += 1;
+        }
+        self.resolve_auto()
     }
 
     /// Advances every die by `duration` seconds — the batched counterpart
@@ -388,8 +519,19 @@ impl NetworkBatch {
         }
         thermorl_telemetry::counter!("thermal.batch_advances");
         thermorl_telemetry::gauge!("thermal.batch_width", self.width as f64);
+        let stepper = if stepper == Stepper::Auto {
+            self.resolve_auto_advance()
+        } else {
+            stepper
+        };
         if stepper == Stepper::Exact {
             self.step(duration, stepper);
+            return;
+        }
+        if let Stepper::Adaptive { rel_tol, abs_tol } = stepper {
+            // The controller subdivides the duration itself; dt is only
+            // the cold-start hint.
+            self.advance_adaptive(duration, dt, rel_tol, abs_tol);
             return;
         }
         let ratio = duration / dt;
@@ -534,7 +676,12 @@ mod tests {
 
     #[test]
     fn batch_matches_scalar_bitwise_across_steppers() {
-        for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+        for stepper in [
+            Stepper::ForwardEuler,
+            Stepper::Rk4,
+            Stepper::Exact,
+            Stepper::adaptive(),
+        ] {
             let proto = two_node();
             let width = 5;
             let mut batch = NetworkBatch::new(&proto, width);
@@ -543,6 +690,16 @@ mod tests {
             for (d, scalar) in scalars.iter_mut().enumerate() {
                 batch.set_power(d, NodeId(0), 2.0 * d as f64 + 1.0);
                 scalar.set_power(NodeId(0), 2.0 * d as f64 + 1.0);
+            }
+            batch.advance(1.0, 0.25, stepper);
+            for s in &mut scalars {
+                s.advance(1.0, 0.25, stepper);
+            }
+            // A second advance after a power change exercises the dirty
+            // refresh and (for adaptive) the per-die warm start.
+            for (d, scalar) in scalars.iter_mut().enumerate() {
+                batch.set_power(d, NodeId(0), 3.0 * d as f64 + 0.5);
+                scalar.set_power(NodeId(0), 3.0 * d as f64 + 0.5);
             }
             batch.advance(1.0, 0.25, stepper);
             for s in &mut scalars {
@@ -615,6 +772,41 @@ mod tests {
         batch.store_die(1, &mut out);
         for (a, b) in out.iter().zip(donor.network().temperatures()) {
             assert_eq!(a.to_bits(), b.to_bits(), "batched die diverged");
+        }
+    }
+
+    #[test]
+    fn batch_adaptive_settles_and_counts_steps() {
+        let proto = two_node();
+        let mut batch = NetworkBatch::new(&proto, 3);
+        batch.advance(500.0, 0.05, Stepper::adaptive());
+        assert!(batch.adaptive_steps() >= 3, "every die takes steps");
+        let ss = proto.steady_state().unwrap();
+        for d in 0..3 {
+            for (i, want) in ss.iter().enumerate() {
+                let got = batch.temperature(d, NodeId(i));
+                assert!((got - want).abs() < 0.05, "die {d} node {i}: {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_auto_resolves_fleet_wide() {
+        // Small dense prototype: Auto is Exact, and advancing under Auto
+        // matches advancing under Exact bit-for-bit.
+        let proto = two_node();
+        let mut auto = NetworkBatch::new(&proto, 2);
+        let mut exact = NetworkBatch::new(&proto, 2);
+        assert_eq!(auto.resolve_auto(), Stepper::Exact);
+        auto.advance(1.0, 0.25, Stepper::Auto);
+        exact.advance(1.0, 0.25, Stepper::Exact);
+        for d in 0..2 {
+            for i in 0..proto.len() {
+                assert_eq!(
+                    auto.temperature(d, NodeId(i)).to_bits(),
+                    exact.temperature(d, NodeId(i)).to_bits()
+                );
+            }
         }
     }
 }

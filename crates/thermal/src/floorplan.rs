@@ -68,6 +68,73 @@ impl Floorplan {
     }
 }
 
+/// Per-core big.LITTLE classes for heterogeneous floorplans.
+///
+/// The first [`HeteroMix::big_cores`] cores in row-major [`Floorplan`]
+/// order are the "big" class; the rest are "LITTLE". Each class scales
+/// the baseline [`DieParams`] core capacitance and core conductances
+/// (core-to-spreader and lateral — coupled classes use the geometric
+/// mean of their scales), modelling the larger silicon area and stronger
+/// spreader contact of a big core versus the small, weakly-coupled
+/// LITTLE one. With `hetero: None` the die is homogeneous and builds the
+/// exact same network as before, bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeteroMix {
+    /// Number of "big" cores (the first `big_cores` in row-major order).
+    pub big_cores: usize,
+    /// Capacitance scale applied to big cores.
+    pub big_capacitance_scale: f64,
+    /// Conductance scale applied to big cores.
+    pub big_conductance_scale: f64,
+    /// Capacitance scale applied to LITTLE cores.
+    pub little_capacitance_scale: f64,
+    /// Conductance scale applied to LITTLE cores.
+    pub little_conductance_scale: f64,
+}
+
+impl HeteroMix {
+    /// A representative big.LITTLE split: big cores carry 1.6× the
+    /// thermal mass with 1.3× the conductance; LITTLE cores 0.55× and
+    /// 0.75× respectively (cf. the NPU-IL paper's platform classes).
+    pub fn big_little(big_cores: usize) -> Self {
+        HeteroMix {
+            big_cores,
+            big_capacitance_scale: 1.6,
+            big_conductance_scale: 1.3,
+            little_capacitance_scale: 0.55,
+            little_conductance_scale: 0.75,
+        }
+    }
+
+    /// `(capacitance_scale, conductance_scale)` for a core index.
+    pub fn scales(&self, core: usize) -> (f64, f64) {
+        if core < self.big_cores {
+            (self.big_capacitance_scale, self.big_conductance_scale)
+        } else {
+            (self.little_capacitance_scale, self.little_conductance_scale)
+        }
+    }
+
+    /// Validates that every scale is finite and positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("big_capacitance_scale", self.big_capacitance_scale),
+            ("big_conductance_scale", self.big_conductance_scale),
+            ("little_capacitance_scale", self.little_capacitance_scale),
+            ("little_conductance_scale", self.little_conductance_scale),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("hetero {name} must be finite and positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Physical package parameters for [`DieModel`].
 ///
 /// Resistances are in K/W, capacitances in J/K. The defaults give a core
@@ -99,6 +166,9 @@ pub struct DieParams {
     /// piecewise constant between simulation ticks, so the cached
     /// matrix-exponential step is both exact and the fastest option.
     pub stepper: Stepper,
+    /// Optional per-core big.LITTLE classes. `None` (the default) builds
+    /// the homogeneous network unchanged.
+    pub hetero: Option<HeteroMix>,
 }
 
 impl Default for DieParams {
@@ -114,6 +184,7 @@ impl Default for DieParams {
             ambient: AMBIENT_C,
             sim_dt: 0.01,
             stepper: Stepper::Exact,
+            hetero: None,
         }
     }
 }
@@ -143,7 +214,24 @@ impl DieParams {
         if self.sim_dt <= 0.0 {
             return Err("sim_dt must be positive".into());
         }
+        if let Stepper::Adaptive { rel_tol, abs_tol } = self.stepper {
+            if !rel_tol.is_finite() || rel_tol <= 0.0 || !abs_tol.is_finite() || abs_tol <= 0.0 {
+                return Err("adaptive tolerances must be finite and positive".into());
+            }
+        }
+        if let Some(h) = &self.hetero {
+            h.validate()?;
+        }
         Ok(())
+    }
+
+    /// Capacitance and conductance scale for one core under the optional
+    /// heterogeneous mix; `(1, 1)` when the die is homogeneous.
+    fn core_scales(&self, core: usize) -> (f64, f64) {
+        match &self.hetero {
+            Some(h) => h.scales(core),
+            None => (1.0, 1.0),
+        }
     }
 }
 
@@ -164,21 +252,40 @@ impl DieModel {
     ///
     /// # Panics
     ///
-    /// Panics if `params` fail [`DieParams::validate`] or if the forward
-    /// Euler step is outside the stability bound of the resulting network.
+    /// Panics if `params` fail [`DieParams::validate`], if a heterogeneous
+    /// mix names more big cores than the floorplan holds, or if the
+    /// forward Euler step is outside the stability bound of the resulting
+    /// network.
     pub fn new(floorplan: Floorplan, params: DieParams) -> Self {
         params.validate().expect("invalid die parameters");
+        if let Some(h) = &params.hetero {
+            assert!(
+                h.big_cores <= floorplan.num_cores(),
+                "hetero mix has {} big cores but the floorplan only {}",
+                h.big_cores,
+                floorplan.num_cores()
+            );
+        }
         let mut b = RcNetworkBuilder::new(params.ambient);
+        // Per-core class scales; the homogeneous (1, 1) scales multiply
+        // out exactly, so `hetero: None` builds bit-identical networks.
         let core_nodes: Vec<NodeId> = (0..floorplan.num_cores())
-            .map(|i| b.add_node(format!("core{i}"), params.core_capacitance))
+            .map(|i| {
+                let (cap_scale, _) = params.core_scales(i);
+                b.add_node(format!("core{i}"), params.core_capacitance * cap_scale)
+            })
             .collect();
         let spreader = b.add_node("spreader", params.spreader_capacitance);
         let sink = b.add_node("sink", params.sink_capacitance);
-        for &c in &core_nodes {
-            b.connect(c, spreader, 1.0 / params.core_to_spreader);
+        for (i, &c) in core_nodes.iter().enumerate() {
+            let (_, g_scale) = params.core_scales(i);
+            b.connect(c, spreader, (1.0 / params.core_to_spreader) * g_scale);
         }
         for (a, c) in floorplan.adjacent_pairs() {
-            b.connect(core_nodes[a], core_nodes[c], params.lateral_conductance);
+            // Coupled cores of different classes meet at the geometric
+            // mean of their conductance scales.
+            let g = (params.core_scales(a).1 * params.core_scales(c).1).sqrt();
+            b.connect(core_nodes[a], core_nodes[c], params.lateral_conductance * g);
         }
         b.connect(spreader, sink, 1.0 / params.spreader_to_sink);
         b.connect_ambient(sink, 1.0 / params.sink_to_ambient);
@@ -217,17 +324,27 @@ impl DieModel {
     /// Panics like [`DieModel::new`] on invalid parameters.
     pub fn detailed(floorplan: Floorplan, params: DieParams) -> Self {
         params.validate().expect("invalid die parameters");
+        if let Some(h) = &params.hetero {
+            assert!(
+                h.big_cores <= floorplan.num_cores(),
+                "hetero mix has {} big cores but the floorplan only {}",
+                h.big_cores,
+                floorplan.num_cores()
+            );
+        }
         let mut b = RcNetworkBuilder::new(params.ambient);
-        // Split the core's mass 40/60 between compute and cache.
+        // Split the core's mass 40/60 between compute and cache; per-core
+        // class scales apply to both blocks (exact 1× when homogeneous).
         let c_compute = params.core_capacitance * 0.4;
         let c_cache = params.core_capacitance * 0.6;
         let mut core_nodes = Vec::with_capacity(floorplan.num_cores());
         let mut cache_nodes = Vec::with_capacity(floorplan.num_cores());
         for i in 0..floorplan.num_cores() {
-            let compute = b.add_node(format!("core{i}"), c_compute);
-            let cache = b.add_node(format!("cache{i}"), c_cache);
+            let (cap_scale, g_scale) = params.core_scales(i);
+            let compute = b.add_node(format!("core{i}"), c_compute * cap_scale);
+            let cache = b.add_node(format!("cache{i}"), c_cache * cap_scale);
             // Tight internal coupling between the blocks.
-            b.connect(compute, cache, 4.0 / params.core_to_spreader);
+            b.connect(compute, cache, (4.0 / params.core_to_spreader) * g_scale);
             core_nodes.push(compute);
             cache_nodes.push(cache);
         }
@@ -236,11 +353,21 @@ impl DieModel {
         for i in 0..floorplan.num_cores() {
             // Both blocks reach the spreader; the split halves keep the
             // total core-to-spreader conductance of the simple model.
-            b.connect(core_nodes[i], spreader, 0.5 / params.core_to_spreader);
-            b.connect(cache_nodes[i], spreader, 0.5 / params.core_to_spreader);
+            let (_, g_scale) = params.core_scales(i);
+            b.connect(
+                core_nodes[i],
+                spreader,
+                (0.5 / params.core_to_spreader) * g_scale,
+            );
+            b.connect(
+                cache_nodes[i],
+                spreader,
+                (0.5 / params.core_to_spreader) * g_scale,
+            );
         }
         for (a, c) in floorplan.adjacent_pairs() {
-            b.connect(core_nodes[a], core_nodes[c], params.lateral_conductance);
+            let g = (params.core_scales(a).1 * params.core_scales(c).1).sqrt();
+            b.connect(core_nodes[a], core_nodes[c], params.lateral_conductance * g);
         }
         b.connect(spreader, sink, 1.0 / params.spreader_to_sink);
         b.connect_ambient(sink, 1.0 / params.sink_to_ambient);
@@ -659,5 +786,115 @@ mod tests {
         a.advance(30.0);
         b.advance(30.0);
         assert!((a.core_temperature(0) - b.core_temperature(0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn hetero_none_builds_bit_identical_network() {
+        // An explicit hetero mix with all-1.0 scales and the plain
+        // homogeneous die must advance to the exact same bits.
+        let uniform = HeteroMix {
+            big_cores: 2,
+            big_capacitance_scale: 1.0,
+            big_conductance_scale: 1.0,
+            little_capacitance_scale: 1.0,
+            little_conductance_scale: 1.0,
+        };
+        let mut plain = DieModel::quad_core();
+        let mut mixed = DieModel::new(
+            Floorplan::quad(),
+            DieParams {
+                hetero: Some(uniform),
+                ..DieParams::default()
+            },
+        );
+        for c in 0..4 {
+            plain.set_core_power(c, 9.0 + c as f64);
+            mixed.set_core_power(c, 9.0 + c as f64);
+        }
+        plain.advance(5.0);
+        mixed.advance(5.0);
+        for (a, b) in plain
+            .network()
+            .temperatures()
+            .iter()
+            .zip(mixed.network().temperatures())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn big_cores_heat_slower_than_little_under_equal_power() {
+        // big.LITTLE: core 0-1 big (heavier, better coupled), 2-3 LITTLE.
+        let mut die = DieModel::new(
+            Floorplan::quad(),
+            DieParams {
+                hetero: Some(HeteroMix::big_little(2)),
+                ..DieParams::default()
+            },
+        );
+        for c in 0..4 {
+            die.set_core_power(c, 12.0);
+        }
+        die.advance(1.0);
+        // Early transient: the heavy big core lags the light LITTLE one.
+        assert!(
+            die.core_temperature(0) < die.core_temperature(3),
+            "big {} vs little {}",
+            die.core_temperature(0),
+            die.core_temperature(3)
+        );
+        // Steady state: the better-coupled big core also runs cooler.
+        die.settle();
+        assert!(die.core_temperature(0) < die.core_temperature(3));
+    }
+
+    #[test]
+    fn hetero_works_on_detailed_dies_and_adaptive_stepper() {
+        let params = DieParams {
+            hetero: Some(HeteroMix::big_little(1)),
+            stepper: Stepper::adaptive(),
+            ..DieParams::default()
+        };
+        let mut die = DieModel::detailed(Floorplan::quad(), params);
+        for c in 0..4 {
+            die.set_core_power(c, 10.0);
+        }
+        die.advance(5.0);
+        let mut settled = die.clone();
+        settled.settle();
+        // Partially risen, ordered below steady state.
+        assert!(die.core_temperature(0) > 26.0);
+        assert!(die.core_temperature(0) < settled.core_temperature(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "big cores")]
+    fn hetero_with_too_many_big_cores_panics() {
+        let _ = DieModel::new(
+            Floorplan::quad(),
+            DieParams {
+                hetero: Some(HeteroMix::big_little(5)),
+                ..DieParams::default()
+            },
+        );
+    }
+
+    #[test]
+    fn hetero_validation_rejects_bad_scales() {
+        let mut h = HeteroMix::big_little(2);
+        h.little_conductance_scale = 0.0;
+        assert!(DieParams {
+            hetero: Some(h),
+            ..DieParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DieParams {
+            hetero: Some(HeteroMix::big_little(2)),
+            ..DieParams::default()
+        }
+        .validate()
+        .is_ok());
     }
 }

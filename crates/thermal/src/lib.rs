@@ -7,9 +7,13 @@
 //!
 //! * [`RcNetwork`] — an arbitrary thermal RC network with explicit
 //!   integration ([`Stepper`]) and an analytic steady state obtained by LU
-//!   decomposition ([`linalg`]).
+//!   decomposition ([`linalg`]) on small networks or matrix-free
+//!   conjugate gradient on large ones.
+//! * [`rk`] — embedded adaptive Runge–Kutta tableaus ([`rk::RkTable`])
+//!   behind [`Stepper::Adaptive`], the large-floorplan fast path.
 //! * [`Floorplan`] / [`DieModel`] — a grid-of-cores die description and the
-//!   standard core + spreader + heatsink network built from it.
+//!   standard core + spreader + heatsink network built from it, with
+//!   optional per-core big.LITTLE classes ([`HeteroMix`]).
 //! * [`ThermalSensor`] / [`SensorBank`] — quantised, noisy on-die sensors,
 //!   the only view of temperature available to controllers.
 //!
@@ -32,12 +36,14 @@ pub mod batch;
 pub mod floorplan;
 pub mod linalg;
 pub mod network;
+pub mod rk;
 pub mod sensor;
+mod sparse;
 pub mod stepper;
 
 pub use batch::{DieBatch, NetworkBatch};
-pub use floorplan::{DieModel, DieParams, Floorplan};
-pub use network::{NodeId, RcNetwork, RcNetworkBuilder};
+pub use floorplan::{DieModel, DieParams, Floorplan, HeteroMix};
+pub use network::{NodeId, RcNetwork, RcNetworkBuilder, DENSE_STEADY_LIMIT};
 pub use sensor::{SensorBank, SensorParams, ThermalSensor};
 pub use stepper::Stepper;
 

@@ -22,10 +22,26 @@
 //! * [`Stepper::Exact`] advances a whole step with a single matrix-vector
 //!   product against the cached propagator `E = exp(-C⁻¹G·dt)`, with the
 //!   steady state obtained from an LU factorisation computed once at build
-//!   time (only the right-hand side changes when powers or ambient move).
+//!   time (only the right-hand side changes when powers or ambient move);
+//! * [`Stepper::Adaptive`] integrates with an embedded Dormand–Prince
+//!   5(4) pair over the sparse CSR graph only — O(nnz) per stage, no
+//!   dense `expm`/LU — so floorplans with thousands of nodes still step;
+//!   above [`DENSE_STEADY_LIMIT`] nodes the steady-state solve switches
+//!   from dense LU to Jacobi-preconditioned conjugate gradient;
+//! * [`Stepper::Auto`] picks between the two per advance from node count
+//!   and power-churn rate.
 
 use crate::linalg::{Lu, Matrix, SolveError};
+use crate::rk::{self, DormandPrince54, MAX_RK_STAGES};
+use crate::sparse::{cg_solve, CgScratch, OdeView, CG_REL_TOL};
 use crate::stepper::Stepper;
+
+/// Node count above which [`RcNetworkBuilder::build`] stops materialising
+/// and LU-factorising the dense steady-state operator and solves steady
+/// states matrix-free (Jacobi-preconditioned CG) instead. At 256 nodes the
+/// dense factorisation is ~0.4 MiB and a few ms; past it the O(n³) build
+/// and O(n²) storage stop paying for themselves.
+pub const DENSE_STEADY_LIMIT: usize = 256;
 
 /// Identifier of a node inside an [`RcNetwork`].
 ///
@@ -65,6 +81,7 @@ pub struct RcNetworkBuilder {
     edges: Vec<(usize, usize, f64)>,
     ambient_conductance: Vec<f64>,
     ambient: f64,
+    dense_steady_limit: Option<usize>,
 }
 
 impl RcNetworkBuilder {
@@ -111,6 +128,14 @@ impl RcNetworkBuilder {
         self.ambient_conductance[n.0] += conductance_w_per_k;
     }
 
+    /// Overrides the node count at which the steady-state solver switches
+    /// from dense LU to matrix-free CG (default [`DENSE_STEADY_LIMIT`]).
+    /// A test/bench hook: `0` forces CG on any network, `usize::MAX`
+    /// forces the dense factorisation.
+    pub fn set_dense_steady_limit(&mut self, limit: usize) {
+        self.dense_steady_limit = Some(limit);
+    }
+
     /// Finalises the network: accumulates duplicate edges, compiles the
     /// conductance graph to its CSR neighbour representation, factorises
     /// the steady-state operator once, and preallocates all stepper
@@ -126,14 +151,46 @@ impl RcNetworkBuilder {
         if n == 0 {
             return Err(BuildError::NoNodes);
         }
-        // Accumulate duplicate edges into a dense symmetric matrix (build
-        // time only; the steady-state operator needs it anyway for LU).
-        let mut g = Matrix::zeros(n);
+        // Directed edge list, stable-sorted by (row, col): duplicates of a
+        // pair stay in insertion order, so the per-pair accumulation below
+        // is bit-identical to the dense-matrix accumulation it replaces —
+        // without ever materialising an O(n²) matrix.
+        let mut directed: Vec<(usize, usize, f64)> = Vec::with_capacity(self.edges.len() * 2);
         for &(a, b, c) in &self.edges {
-            g[(a, b)] += c;
-            g[(b, a)] += c;
+            directed.push((a, b, c));
+            directed.push((b, a, c));
         }
-        // Reachability from ambient-connected nodes through positive edges.
+        directed.sort_by_key(|&(row, col, _)| (row, col));
+        // CSR neighbour lists (zero-conductance edges are dropped) and the
+        // total conductance seen by each node (diagonal of the Laplacian).
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut edge_g = Vec::new();
+        let mut diag_g = vec![0.0; n];
+        row_ptr.push(0);
+        let mut cursor = 0;
+        for (i, diag) in diag_g.iter_mut().enumerate() {
+            let mut total = self.ambient_conductance[i];
+            while cursor < directed.len() && directed[cursor].0 == i {
+                let j = directed[cursor].1;
+                let mut g = 0.0;
+                while cursor < directed.len() && directed[cursor].0 == i && directed[cursor].1 == j
+                {
+                    g += directed[cursor].2;
+                    cursor += 1;
+                }
+                if g > 0.0 {
+                    col_idx.push(j);
+                    edge_g.push(g);
+                    total += g;
+                }
+            }
+            *diag = total;
+            row_ptr.push(col_idx.len());
+        }
+        // Reachability from ambient-connected nodes through positive edges
+        // (zero-sum pairs were dropped above, so the CSR adjacency is
+        // exactly the positive-conductance graph).
         let mut reached = vec![false; n];
         let mut stack: Vec<usize> = (0..n)
             .filter(|&i| self.ambient_conductance[i] > 0.0)
@@ -142,8 +199,8 @@ impl RcNetworkBuilder {
             reached[s] = true;
         }
         while let Some(i) = stack.pop() {
-            for j in 0..n {
-                if !reached[j] && g[(i, j)] > 0.0 {
+            for &j in &col_idx[row_ptr[i]..row_ptr[i + 1]] {
+                if !reached[j] {
                     reached[j] = true;
                     stack.push(j);
                 }
@@ -154,50 +211,38 @@ impl RcNetworkBuilder {
                 node: self.names[idx].clone(),
             });
         }
-        // CSR neighbour lists (zero-conductance edges are dropped) and the
-        // total conductance seen by each node (diagonal of the Laplacian).
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        let mut col_idx = Vec::new();
-        let mut edge_g = Vec::new();
-        let mut diag_g = vec![0.0; n];
-        row_ptr.push(0);
-        for i in 0..n {
-            let mut total = self.ambient_conductance[i];
-            for j in 0..n {
-                let c = g[(i, j)];
-                if c > 0.0 {
-                    col_idx.push(j);
-                    edge_g.push(c);
-                    total += c;
+        // Steady-state operator A = diag(g_amb + Σg) - G. The floating-node
+        // check above guarantees A is an irreducibly diagonally dominant
+        // M-matrix, hence SPD and non-singular. Small networks densify and
+        // LU-factorise it once; large ones stay matrix-free and solve
+        // steady states by preconditioned CG on demand.
+        let limit = self.dense_steady_limit.unwrap_or(DENSE_STEADY_LIMIT);
+        let steady = if n <= limit {
+            let mut a = Matrix::zeros(n);
+            for i in 0..n {
+                a[(i, i)] = diag_g[i];
+                for k in row_ptr[i]..row_ptr[i + 1] {
+                    a[(i, col_idx[k])] = -edge_g[k];
                 }
             }
-            diag_g[i] = total;
-            row_ptr.push(col_idx.len());
-        }
-        // Steady-state operator A = diag(g_amb + Σg) - G, factorised once.
-        // The floating-node check above guarantees A is an irreducibly
-        // diagonally dominant M-matrix, hence non-singular.
-        let mut a = Matrix::zeros(n);
-        for i in 0..n {
-            a[(i, i)] = diag_g[i];
-            for j in 0..n {
-                if g[(i, j)] > 0.0 {
-                    a[(i, j)] -= g[(i, j)];
-                }
-            }
-        }
-        let lu = a
-            .lu()
-            .expect("grounded RC networks have a non-singular steady-state operator");
+            let lu = a
+                .lu()
+                .expect("grounded RC networks have a non-singular steady-state operator");
+            SteadySolver::Dense(lu)
+        } else {
+            SteadySolver::MatrixFree
+        };
+        let inv_capacitance: Vec<f64> = self.capacitance.iter().map(|&c| 1.0 / c).collect();
         let temperature = vec![self.ambient; n];
         Ok(RcNetwork {
             names: self.names,
             capacitance: self.capacitance,
+            inv_capacitance,
             row_ptr,
             col_idx,
             edge_g,
             diag_g,
-            lu,
+            steady,
             ambient_conductance: self.ambient_conductance,
             ambient: self.ambient,
             temperature,
@@ -205,8 +250,14 @@ impl RcNetworkBuilder {
             scratch: Workspace::with_len(n),
             exact: None,
             steady_dirty: true,
+            inject_dirty: true,
+            adaptive_dt: None,
             propagator_builds: 0,
             steady_refreshes: 0,
+            adaptive_steps: 0,
+            step_rejections: 0,
+            auto_advances: 0,
+            auto_dirty_advances: 0,
         })
     }
 }
@@ -237,17 +288,26 @@ impl std::fmt::Display for BuildError {
 impl std::error::Error for BuildError {}
 
 /// Preallocated stepper scratch, so steady-state stepping never touches
-/// the heap. `k1..k4` are the RK4 slopes (`k1` doubles as the Euler slope
-/// and the exact step's output), `tmp` holds intermediate states, `t0` the
-/// step's initial temperatures.
+/// the heap. `k1..k7` are RK stage slopes (`k1` doubles as the Euler
+/// slope and the exact step's output; the adaptive DP54 pair uses all
+/// seven), `tmp` holds intermediate states, `t0` the step's initial
+/// temperatures (the adaptive kernel reuses it as its trial-solution
+/// buffer), `inject` the cached per-node `P_i + g_amb_i·T_amb` refreshed
+/// only when power or ambient change, and `cg` the conjugate-gradient
+/// scratch for matrix-free steady solves.
 #[derive(Debug, Clone, Default)]
 struct Workspace {
     k1: Vec<f64>,
     k2: Vec<f64>,
     k3: Vec<f64>,
     k4: Vec<f64>,
+    k5: Vec<f64>,
+    k6: Vec<f64>,
+    k7: Vec<f64>,
     tmp: Vec<f64>,
     t0: Vec<f64>,
+    inject: Vec<f64>,
+    cg: CgScratch,
 }
 
 impl Workspace {
@@ -257,10 +317,24 @@ impl Workspace {
             k2: vec![0.0; n],
             k3: vec![0.0; n],
             k4: vec![0.0; n],
+            k5: vec![0.0; n],
+            k6: vec![0.0; n],
+            k7: vec![0.0; n],
             tmp: vec![0.0; n],
             t0: vec![0.0; n],
+            inject: vec![0.0; n],
+            cg: CgScratch::with_len(n),
         }
     }
+}
+
+/// How steady states `A·T_ss = b` are solved: dense LU factorised once at
+/// build for small networks, Jacobi-preconditioned CG over the CSR graph
+/// for large ones (crossover at the builder's dense-steady limit).
+#[derive(Debug, Clone)]
+pub(crate) enum SteadySolver {
+    Dense(Lu),
+    MatrixFree,
 }
 
 /// The cached exact propagator for one step size, plus the steady-state
@@ -284,6 +358,8 @@ pub struct RcNetwork {
     names: Vec<String>,
     /// Per-node heat capacitance (J/K); shared with [`crate::NetworkBatch`].
     pub(crate) capacitance: Vec<f64>,
+    /// Precomputed `1/C_i`: derivative sweeps multiply instead of divide.
+    pub(crate) inv_capacitance: Vec<f64>,
     /// CSR row pointers into `col_idx`/`edge_g` (length `n + 1`).
     pub(crate) row_ptr: Vec<usize>,
     /// CSR neighbour indices.
@@ -293,8 +369,8 @@ pub struct RcNetwork {
     /// Per-node total conductance `g_amb_i + Σ_j g_ij` (the Laplacian
     /// diagonal; also drives the Gershgorin stability bound).
     pub(crate) diag_g: Vec<f64>,
-    /// LU factorisation of the steady-state operator, computed at build.
-    pub(crate) lu: Lu,
+    /// Steady-state solver: dense LU (small) or matrix-free CG (large).
+    pub(crate) steady: SteadySolver,
     pub(crate) ambient_conductance: Vec<f64>,
     ambient: f64,
     temperature: Vec<f64>,
@@ -304,8 +380,22 @@ pub struct RcNetwork {
     /// Whether `(power, ambient)` changed since the last steady-state
     /// refresh of the exact cache.
     steady_dirty: bool,
+    /// Whether `(power, ambient)` changed since the last refresh of the
+    /// workspace `inject` buffer used by the explicit/adaptive steppers.
+    inject_dirty: bool,
+    /// Warm-start step size carried between adaptive advances. Not part
+    /// of the thermal snapshot state: a restored network restarts the
+    /// controller from the `dt` hint (one extra controller transient,
+    /// same accuracy).
+    adaptive_dt: Option<f64>,
     propagator_builds: u64,
     steady_refreshes: u64,
+    adaptive_steps: u64,
+    step_rejections: u64,
+    /// Advances seen under `Stepper::Auto`, and how many of those had
+    /// power/ambient churn — the crossover heuristic's inputs.
+    auto_advances: u64,
+    auto_dirty_advances: u64,
 }
 
 impl RcNetwork {
@@ -340,6 +430,7 @@ impl RcNetwork {
         if self.ambient != ambient_c {
             self.ambient = ambient_c;
             self.steady_dirty = true;
+            self.inject_dirty = true;
         }
     }
 
@@ -368,6 +459,7 @@ impl RcNetwork {
         if self.power[n.0] != watts {
             self.power[n.0] = watts;
             self.steady_dirty = true;
+            self.inject_dirty = true;
         }
     }
 
@@ -398,18 +490,63 @@ impl RcNetwork {
         self.steady_refreshes
     }
 
-    /// Computes the time derivative of all node temperatures (K/s) into
-    /// `out` given the temperatures in `t`. One O(nnz) CSR sweep:
-    /// `dT_i/dt = (P_i + g_amb_i·T_amb - diag_g_i·T_i + Σ_j g_ij·T_j) / C_i`.
-    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the math
-    fn derivative(&self, t: &[f64], out: &mut [f64]) {
-        for i in 0..self.temperature.len() {
-            let mut q =
-                self.power[i] + self.ambient_conductance[i] * self.ambient - self.diag_g[i] * t[i];
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                q += self.edge_g[k] * t[self.col_idx[k]];
+    /// Accepted steps taken by [`Stepper::Adaptive`] advances so far.
+    /// Mirrored onto the telemetry registry as `thermal.adaptive_steps`.
+    pub fn adaptive_steps(&self) -> u64 {
+        self.adaptive_steps
+    }
+
+    /// Step attempts the adaptive error controller rejected and retried.
+    /// Mirrored onto the telemetry registry as `thermal.step_rejections`.
+    pub fn step_rejections(&self) -> u64 {
+        self.step_rejections
+    }
+
+    /// Step size the adaptive controller would take next, if any adaptive
+    /// advance has run — the warm start for the next advance (also the
+    /// `thermal.dt_current` gauge).
+    pub fn adaptive_dt(&self) -> Option<f64> {
+        self.adaptive_dt
+    }
+
+    /// Borrowed matrix-free view of the CSR graph for the sparse kernels.
+    pub(crate) fn ode_view(&self) -> OdeView<'_> {
+        OdeView {
+            row_ptr: &self.row_ptr,
+            col_idx: &self.col_idx,
+            edge_g: &self.edge_g,
+            diag_g: &self.diag_g,
+            inv_cap: &self.inv_capacitance,
+        }
+    }
+
+    /// Refreshes the cached per-node injection `P_i + g_amb_i·T_amb` if
+    /// power or ambient changed; every explicit/adaptive stage then reads
+    /// it instead of recomputing the sum per sub-step.
+    fn refresh_inject(&mut self, inject: &mut [f64]) {
+        if !self.inject_dirty {
+            return;
+        }
+        for ((inj, &p), &g) in inject
+            .iter_mut()
+            .zip(&self.power)
+            .zip(&self.ambient_conductance)
+        {
+            *inj = p + g * self.ambient;
+        }
+        self.inject_dirty = false;
+    }
+
+    /// Solves the steady-state system `A·x = rhs` into `out` through
+    /// whichever solver the build chose. The single dispatch point shared
+    /// by the scalar and batched exact steppers.
+    pub(crate) fn solve_steady_into(&self, rhs: &[f64], out: &mut [f64], cg: &mut CgScratch) {
+        match &self.steady {
+            SteadySolver::Dense(lu) => lu.solve_into(rhs, out),
+            SteadySolver::MatrixFree => {
+                let iters = cg_solve(&self.ode_view(), rhs, out, cg, CG_REL_TOL);
+                thermorl_telemetry::counter!("thermal.cg_iterations", iters);
             }
-            out[i] = q / self.capacitance[i];
         }
     }
 
@@ -454,34 +591,51 @@ impl RcNetwork {
     ///
     /// [`Stepper::Exact`] is exact for any `dt` under piecewise-constant
     /// power; the explicit steppers discretise and need `dt` within their
-    /// stability/accuracy bounds. No step allocates once the exact
-    /// propagator for `dt` is cached.
+    /// stability/accuracy bounds. [`Stepper::Adaptive`] treats `dt` as the
+    /// total span and subdivides it under error control (so a "step" of
+    /// any size is safe); [`Stepper::Auto`] resolves to one of the others
+    /// first. No step allocates once the exact propagator for `dt` is
+    /// cached.
     pub fn step(&mut self, dt: f64, stepper: Stepper) {
+        match stepper {
+            Stepper::Adaptive { rel_tol, abs_tol } => {
+                return self.advance_adaptive(dt, dt, rel_tol, abs_tol);
+            }
+            Stepper::Auto => {
+                let resolved = self.auto_choice(self.auto_advances, self.auto_dirty_advances);
+                return self.step(dt, resolved);
+            }
+            _ => {}
+        }
         // The workspace is moved out so its buffers can be borrowed
         // mutably alongside `&self` (a Vec move, not an allocation).
         let mut ws = std::mem::take(&mut self.scratch);
         match stepper {
             Stepper::ForwardEuler => {
-                self.derivative(&self.temperature, &mut ws.k1);
+                self.refresh_inject(&mut ws.inject);
+                let ode = self.ode_view();
+                ode.derivative(&ws.inject, &self.temperature, &mut ws.k1);
                 for (t, d) in self.temperature.iter_mut().zip(&ws.k1) {
                     *t += dt * d;
                 }
             }
             Stepper::Rk4 => {
+                self.refresh_inject(&mut ws.inject);
                 ws.t0.copy_from_slice(&self.temperature);
-                self.derivative(&ws.t0, &mut ws.k1);
+                let ode = self.ode_view();
+                ode.derivative(&ws.inject, &ws.t0, &mut ws.k1);
                 for i in 0..ws.t0.len() {
                     ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k1[i];
                 }
-                self.derivative(&ws.tmp, &mut ws.k2);
+                ode.derivative(&ws.inject, &ws.tmp, &mut ws.k2);
                 for i in 0..ws.t0.len() {
                     ws.tmp[i] = ws.t0[i] + 0.5 * dt * ws.k2[i];
                 }
-                self.derivative(&ws.tmp, &mut ws.k3);
+                ode.derivative(&ws.inject, &ws.tmp, &mut ws.k3);
                 for i in 0..ws.t0.len() {
                     ws.tmp[i] = ws.t0[i] + dt * ws.k3[i];
                 }
-                self.derivative(&ws.tmp, &mut ws.k4);
+                ode.derivative(&ws.inject, &ws.tmp, &mut ws.k4);
                 for i in 0..ws.t0.len() {
                     self.temperature[i] = ws.t0[i]
                         + dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
@@ -494,7 +648,7 @@ impl RcNetwork {
                     for i in 0..cache.rhs.len() {
                         cache.rhs[i] = self.power[i] + self.ambient_conductance[i] * self.ambient;
                     }
-                    self.lu.solve_into(&cache.rhs, &mut cache.t_ss);
+                    self.solve_steady_into(&cache.rhs, &mut cache.t_ss, &mut ws.cg);
                     self.steady_refreshes += 1;
                     thermorl_telemetry::counter!("thermal.steady_refreshes");
                     self.steady_dirty = false;
@@ -509,15 +663,110 @@ impl RcNetwork {
                 }
                 self.exact = Some(cache);
             }
+            Stepper::Adaptive { .. } | Stepper::Auto => unreachable!("handled above"),
         }
         self.scratch = ws;
+    }
+
+    /// Advances `duration` seconds under the embedded Dormand–Prince 5(4)
+    /// pair: sparse CSR stages only, per-node error control at the given
+    /// tolerances, PI step-size adaptation warm-started from the previous
+    /// adaptive advance (or `dt_hint` on the first one).
+    fn advance_adaptive(&mut self, duration: f64, dt_hint: f64, rel_tol: f64, abs_tol: f64) {
+        if duration <= 0.0 {
+            return;
+        }
+        let mut ws = std::mem::take(&mut self.scratch);
+        self.refresh_inject(&mut ws.inject);
+        let dt0 = self.adaptive_dt.unwrap_or(dt_hint);
+        let stats = {
+            let ode = OdeView {
+                row_ptr: &self.row_ptr,
+                col_idx: &self.col_idx,
+                edge_g: &self.edge_g,
+                diag_g: &self.diag_g,
+                inv_cap: &self.inv_capacitance,
+            };
+            let mut stages: [&mut [f64]; MAX_RK_STAGES] = [
+                &mut ws.k1, &mut ws.k2, &mut ws.k3, &mut ws.k4, &mut ws.k5, &mut ws.k6, &mut ws.k7,
+            ];
+            rk::integrate::<DormandPrince54>(
+                &ode,
+                &ws.inject,
+                &mut self.temperature,
+                duration,
+                dt0,
+                rel_tol,
+                abs_tol,
+                &mut stages,
+                &mut ws.tmp,
+                &mut ws.t0,
+            )
+        };
+        self.adaptive_dt = Some(stats.dt_next);
+        self.adaptive_steps += stats.accepted;
+        self.step_rejections += stats.rejected;
+        thermorl_telemetry::counter!("thermal.adaptive_steps", stats.accepted);
+        thermorl_telemetry::counter!("thermal.step_rejections", stats.rejected);
+        thermorl_telemetry::gauge!("thermal.dt_current", stats.dt_next);
+        self.scratch = ws;
+    }
+
+    /// Node count at or below which [`Stepper::Auto`] always picks the
+    /// exact propagator: dense build is trivial there and each step is a
+    /// single O(n²) GEMV that adaptive stepping cannot beat.
+    const AUTO_EXACT_MAX_NODES: usize = 64;
+    /// Auto advances observed before the churn statistics are trusted.
+    const AUTO_WARMUP_ADVANCES: u64 = 4;
+
+    /// What [`Stepper::Auto`] resolves to right now, given this network's
+    /// size, steady-solver kind, and observed power-churn history.
+    pub fn resolve_auto(&self) -> Stepper {
+        self.auto_choice(self.auto_advances, self.auto_dirty_advances)
+    }
+
+    /// Crossover rule shared with [`crate::NetworkBatch`] (which tracks
+    /// its own fleet-level churn counters).
+    pub(crate) fn auto_choice(&self, advances: u64, dirty_advances: u64) -> Stepper {
+        // Matrix-free networks must never densify an expm.
+        if matches!(self.steady, SteadySolver::MatrixFree) {
+            return Stepper::adaptive();
+        }
+        if self.len() <= Self::AUTO_EXACT_MAX_NODES {
+            return Stepper::Exact;
+        }
+        // Mid-size dense networks: the propagator pays off only when
+        // powers hold still (every churned advance costs an extra dense
+        // steady solve, while the adaptive path restarts cheaply). Wait
+        // out a few advances of history, then pick Exact only for
+        // low-churn (< 50% of advances) workloads.
+        if advances >= Self::AUTO_WARMUP_ADVANCES && dirty_advances * 2 <= advances {
+            Stepper::Exact
+        } else {
+            Stepper::adaptive()
+        }
+    }
+
+    /// Records one advance of churn history and resolves `Auto`.
+    fn resolve_auto_advance(&mut self) -> Stepper {
+        self.auto_advances += 1;
+        // Power/ambient changed since the last advance exactly when both
+        // refresh flags are still set (each advance clears one of them).
+        if self.steady_dirty && self.inject_dirty {
+            self.auto_dirty_advances += 1;
+        }
+        self.auto_choice(self.auto_advances, self.auto_dirty_advances)
     }
 
     /// Advances by `duration` seconds.
     ///
     /// [`Stepper::Exact`] covers the whole duration in a single step (it
-    /// is exact at any step size under piecewise-constant power). The
-    /// explicit steppers take `floor(duration/dt)` full sub-steps (the
+    /// is exact at any step size under piecewise-constant power).
+    /// [`Stepper::Adaptive`] also consumes the duration in one call,
+    /// subdividing it under error control with `dt` as the cold-start
+    /// hint; [`Stepper::Auto`] resolves per advance and feeds its churn
+    /// statistics. The explicit steppers take `floor(duration/dt)` full
+    /// sub-steps (the
     /// count is computed up front, so `advance(a + b)` performs the same
     /// step sequence as `advance(a); advance(b)` whenever `a` and `b` are
     /// multiples of `dt`), then one final partial step with the remainder
@@ -526,8 +775,19 @@ impl RcNetwork {
         if duration <= 0.0 {
             return;
         }
+        let stepper = if stepper == Stepper::Auto {
+            self.resolve_auto_advance()
+        } else {
+            stepper
+        };
         if stepper == Stepper::Exact {
             self.step(duration, stepper);
+            return;
+        }
+        if let Stepper::Adaptive { rel_tol, abs_tol } = stepper {
+            // The controller subdivides the duration itself; dt is only
+            // the cold-start hint.
+            self.advance_adaptive(duration, dt, rel_tol, abs_tol);
             return;
         }
         let ratio = duration / dt;
@@ -564,8 +824,9 @@ impl RcNetwork {
     }
 
     /// Analytic steady-state temperatures for the current power vector,
-    /// solving `A T = P + g_amb T_amb` against the LU factorisation
-    /// computed once at build time.
+    /// solving `A T = P + g_amb T_amb` — against the LU factorisation
+    /// computed at build time on small networks, or by matrix-free
+    /// preconditioned CG on large ones.
     ///
     /// # Errors
     ///
@@ -579,7 +840,15 @@ impl RcNetwork {
             .zip(&self.ambient_conductance)
             .map(|(p, g)| p + g * self.ambient)
             .collect();
-        Ok(self.lu.solve(&b))
+        match &self.steady {
+            SteadySolver::Dense(lu) => Ok(lu.solve(&b)),
+            SteadySolver::MatrixFree => {
+                let mut x = vec![0.0; self.len()];
+                let mut cg = CgScratch::with_len(self.len());
+                cg_solve(&self.ode_view(), &b, &mut x, &mut cg, CG_REL_TOL);
+                Ok(x)
+            }
+        }
     }
 
     /// Jumps the network straight to its steady state for the current powers.
@@ -858,5 +1127,150 @@ mod tests {
             b.step(0.3, Stepper::Rk4);
         }
         assert_eq!(a.temperatures(), b.temperatures());
+    }
+
+    #[test]
+    fn adaptive_converges_to_steady_state() {
+        let mut net = two_node();
+        net.advance(500.0, 0.05, Stepper::adaptive());
+        let ss = net.steady_state().unwrap();
+        for (a, b) in net.temperatures().iter().zip(&ss) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+        assert!(net.adaptive_steps() >= 1);
+        assert!(net.adaptive_dt().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_matches_fine_rk4_on_transient() {
+        let mut adaptive = two_node();
+        let mut rk = two_node();
+        adaptive.advance(3.0, 0.05, Stepper::adaptive());
+        rk.advance(3.0, 1e-3, Stepper::Rk4);
+        for (a, b) in adaptive.temperatures().iter().zip(rk.temperatures()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn adaptive_oversized_hint_rejects_then_recovers() {
+        let mut net = two_node();
+        // A 500 s first trial step on a ~55 s time constant must reject.
+        net.advance(500.0, 500.0, Stepper::adaptive());
+        assert!(net.step_rejections() >= 1, "oversized step must reject");
+        let ss = net.steady_state().unwrap();
+        for (a, b) in net.temperatures().iter().zip(&ss) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn adaptive_warm_start_matches_split_tolerance() {
+        // Two half-advances continue from the warm dt; the result agrees
+        // with one full advance within tolerance (not bitwise — the step
+        // sequence differs at the split).
+        let mut whole = two_node();
+        let mut split = two_node();
+        whole.advance(10.0, 0.05, Stepper::adaptive());
+        split.advance(5.0, 0.05, Stepper::adaptive());
+        split.advance(5.0, 0.05, Stepper::adaptive());
+        for (a, b) in whole.temperatures().iter().zip(split.temperatures()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Forces the matrix-free steady solver onto a tiny network and checks
+    /// CG agrees with dense LU to round-off, for the steady state and for
+    /// the exact stepper that pivots around it.
+    #[test]
+    fn matrix_free_steady_matches_dense() {
+        let build = |limit: Option<usize>| {
+            let mut b = RcNetworkBuilder::new(20.0);
+            let core = b.add_node("core", 5.0);
+            let sink = b.add_node("sink", 50.0);
+            b.connect(core, sink, 2.0);
+            b.connect_ambient(sink, 1.0);
+            if let Some(l) = limit {
+                b.set_dense_steady_limit(l);
+            }
+            let mut net = b.build().unwrap();
+            net.set_power(core, 10.0);
+            net
+        };
+        let dense = build(None);
+        let mut free = build(Some(0));
+        assert!(matches!(free.steady, SteadySolver::MatrixFree));
+        let td = dense.steady_state().unwrap();
+        let tf = free.steady_state().unwrap();
+        for (a, b) in td.iter().zip(&tf) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        let mut dense = build(None);
+        dense.step(1.0, Stepper::Exact);
+        free.step(1.0, Stepper::Exact);
+        for (a, b) in dense.temperatures().iter().zip(free.temperatures()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// A 100-node chain, all grounded: every node reachable, and the
+    /// sort-based CSR build handles long rows and duplicate edges.
+    #[test]
+    fn chain_with_duplicates_builds_and_settles() {
+        let mut b = RcNetworkBuilder::new(20.0);
+        let nodes: Vec<NodeId> = (0..100).map(|i| b.add_node(format!("n{i}"), 1.0)).collect();
+        for w in nodes.windows(2) {
+            b.connect(w[0], w[1], 1.0);
+            b.connect(w[0], w[1], 0.5); // duplicate accumulates to 1.5
+        }
+        b.connect_ambient(nodes[0], 2.0);
+        let mut net = b.build().unwrap();
+        assert_eq!(net.nnz(), 99 * 2);
+        net.set_power(nodes[99], 3.0);
+        net.settle();
+        // All 3 W flow through the single ambient link: node 0 sits at
+        // 20 + 3/2; each chain hop adds 3/1.5.
+        assert!((net.temperature(nodes[0]) - 21.5).abs() < 1e-6);
+        assert!((net.temperature(nodes[1]) - 23.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auto_resolves_by_size_and_solver() {
+        // Small dense network: Exact.
+        let net = two_node();
+        assert_eq!(net.resolve_auto(), Stepper::Exact);
+        // Matrix-free network: always adaptive.
+        let mut b = RcNetworkBuilder::new(20.0);
+        let x = b.add_node("x", 1.0);
+        b.connect_ambient(x, 1.0);
+        b.set_dense_steady_limit(0);
+        let net = b.build().unwrap();
+        assert_eq!(net.resolve_auto(), Stepper::adaptive());
+    }
+
+    #[test]
+    fn auto_crossover_tracks_churn_on_midsize_networks() {
+        // 100 nodes: above AUTO_EXACT_MAX_NODES, below DENSE_STEADY_LIMIT.
+        let mut b = RcNetworkBuilder::new(20.0);
+        let nodes: Vec<NodeId> = (0..100).map(|i| b.add_node(format!("n{i}"), 1.0)).collect();
+        for w in nodes.windows(2) {
+            b.connect(w[0], w[1], 1.0);
+        }
+        b.connect_ambient(nodes[0], 2.0);
+        let mut net = b.build().unwrap();
+        net.set_power(nodes[50], 2.0);
+        // Warmup: adaptive until enough history accumulates.
+        assert_eq!(net.resolve_auto(), Stepper::adaptive());
+        for _ in 0..4 {
+            net.advance(0.5, 0.01, Stepper::Auto);
+        }
+        // Quiet workload: the propagator wins.
+        assert_eq!(net.resolve_auto(), Stepper::Exact);
+        // Sustained churn flips it back to adaptive.
+        for k in 0..8 {
+            net.set_power(nodes[50], 2.0 + k as f64);
+            net.advance(0.5, 0.01, Stepper::Auto);
+        }
+        assert_eq!(net.resolve_auto(), Stepper::adaptive());
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests of the thermal substrate.
 
 use proptest::prelude::*;
-use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan, Stepper};
+use thermorl_thermal::{DieBatch, DieModel, DieParams, Floorplan, HeteroMix, Stepper};
 
 fn die_with_powers(powers: &[f64]) -> DieModel {
     let mut die = DieModel::quad_core();
@@ -96,9 +96,11 @@ proptest! {
         let mut rk = die_with(Stepper::Rk4, 0.05);
         let mut euler = die_with(Stepper::ForwardEuler, 0.01);
         let mut exact = die_with(Stepper::Exact, 0.01);
+        let mut adaptive = die_with(Stepper::adaptive(), 0.05);
         rk.advance(20.0);
         euler.advance(20.0);
         exact.advance(20.0);
+        adaptive.advance(20.0);
         for (a, b) in euler.core_temperatures().iter().zip(rk.core_temperatures()) {
             prop_assert!((a - b).abs() < 0.15, "euler {} vs rk4 {}", a, b);
         }
@@ -106,6 +108,55 @@ proptest! {
         // reference an order of magnitude tighter than Euler does.
         for (a, b) in exact.core_temperatures().iter().zip(rk.core_temperatures()) {
             prop_assert!((a - b).abs() < 1e-2, "exact {} vs rk4 {}", a, b);
+        }
+        // The adaptive controller holds per-step error at its tolerances,
+        // so it must sit on the exact propagator far inside the explicit
+        // steppers' discretisation error.
+        for (a, b) in adaptive.core_temperatures().iter().zip(exact.core_temperatures()) {
+            prop_assert!((a - b).abs() < 1e-3, "adaptive {} vs exact {}", a, b);
+        }
+    }
+
+    /// The adaptive stepper agrees with the exact propagator on random
+    /// floorplan shapes, random power vectors, heterogeneous big.LITTLE
+    /// mixes, and a mid-run ambient swing — the error controller holds
+    /// across every die geometry, not just the calibrated quad.
+    #[test]
+    fn adaptive_agrees_with_exact_on_random_floorplans(
+        w in 1usize..5,
+        h in 1usize..5,
+        big_pick in 0usize..32,
+        powers in proptest::collection::vec(0.0f64..15.0, 16),
+        ambient_shift in -10.0f64..15.0,
+    ) {
+        let cores = w * h;
+        // big_pick folds to 0..=cores; 0 big cores means a homogeneous die.
+        let big = big_pick % (cores + 1);
+        let hetero = if big == 0 { None } else { Some(HeteroMix::big_little(big)) };
+        let build = |stepper: Stepper| {
+            let mut die = DieModel::new(
+                Floorplan::grid(w, h),
+                DieParams { stepper, hetero, ..DieParams::default() },
+            );
+            for (c, &w) in powers.iter().enumerate().take(cores) {
+                die.set_core_power(c, w);
+            }
+            die
+        };
+        let mut exact = build(Stepper::Exact);
+        let mut adaptive = build(Stepper::adaptive());
+        exact.advance(5.0);
+        adaptive.advance(5.0);
+        // Ambient swing mid-run: both steppers must track the new target.
+        exact.set_ambient(25.0 + ambient_shift);
+        adaptive.set_ambient(25.0 + ambient_shift);
+        exact.advance(5.0);
+        adaptive.advance(5.0);
+        for (a, b) in adaptive.core_temperatures().iter().zip(exact.core_temperatures()) {
+            prop_assert!(
+                (a - b).abs() < 1e-3,
+                "{}x{} big={} adaptive {} vs exact {}", w, h, big, a, b
+            );
         }
     }
 
@@ -119,13 +170,18 @@ proptest! {
     #[test]
     fn batch_agrees_with_scalar(
         width in 1usize..6,
-        stepper_idx in 0usize..3,
+        stepper_idx in 0usize..4,
         schedule in proptest::collection::vec(
             (1u8..30, proptest::collection::vec(0.0f64..20.0, 24)),
             1..5,
         ),
     ) {
-        let stepper = [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact][stepper_idx];
+        let stepper = [
+            Stepper::ForwardEuler,
+            Stepper::Rk4,
+            Stepper::Exact,
+            Stepper::adaptive(),
+        ][stepper_idx];
         let proto = DieModel::new(
             Floorplan::quad(),
             DieParams { stepper, ..DieParams::default() },

@@ -44,7 +44,12 @@ fn allocs_during(f: impl FnOnce()) -> u64 {
 
 #[test]
 fn steady_state_stepping_does_not_allocate() {
-    for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+    for stepper in [
+        Stepper::ForwardEuler,
+        Stepper::Rk4,
+        Stepper::Exact,
+        Stepper::adaptive(),
+    ] {
         let mut die = DieModel::new(
             Floorplan::quad(),
             DieParams {
@@ -85,7 +90,12 @@ fn steady_state_stepping_does_not_allocate() {
 
     // The batched path must uphold the same guarantee (this stays inside
     // the single #[test] so no concurrent test pollutes the counter).
-    for stepper in [Stepper::ForwardEuler, Stepper::Rk4, Stepper::Exact] {
+    for stepper in [
+        Stepper::ForwardEuler,
+        Stepper::Rk4,
+        Stepper::Exact,
+        Stepper::adaptive(),
+    ] {
         let proto = DieModel::new(
             Floorplan::quad(),
             DieParams {
@@ -124,6 +134,39 @@ fn steady_state_stepping_does_not_allocate() {
         assert_eq!(
             n, 0,
             "{stepper}: batch stepping with changing powers must not allocate"
+        );
+    }
+
+    // Large-floorplan fast path: a 16×16 grid (258 nodes) is past the
+    // dense-steady limit, so the die is matrix-free and `Auto` resolves
+    // to the adaptive stepper. Under power churn every advance refreshes
+    // the inject buffer and re-runs the embedded RK controller — all of
+    // it out of the preallocated workspace.
+    for stepper in [Stepper::adaptive(), Stepper::Auto] {
+        let mut die = DieModel::new(
+            Floorplan::grid(16, 16),
+            DieParams {
+                stepper,
+                ..DieParams::default()
+            },
+        );
+        for c in 0..256 {
+            die.set_core_power(c, 0.5 + (c % 5) as f64);
+        }
+        // Warm-up: the first adaptive advance seeds the warm-start dt.
+        die.advance(1.0);
+
+        let n = allocs_during(|| {
+            for i in 0..20u64 {
+                for c in 0..256 {
+                    die.set_core_power(c, 0.5 + ((i + c as u64) % 5) as f64);
+                }
+                die.advance(1.0);
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "{stepper}: 16x16 adaptive stepping with churn must not allocate"
         );
     }
 }
